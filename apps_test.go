@@ -1,0 +1,59 @@
+package beepmis
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestColorGraphFacade(t *testing.T) {
+	g := GNP(80, 0.3, 1)
+	res, err := ColorGraph(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoring(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors > g.MaxDegree()+1 {
+		t.Fatalf("%d colors exceed Δ+1 = %d", res.NumColors, g.MaxDegree()+1)
+	}
+	if res.TotalRounds < 1 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestMaximalMatchingFacade(t *testing.T) {
+	g := GNP(60, 0.2, 2)
+	res, err := MaximalMatching(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyMatching(g, res.Edges, res.Matched) {
+		t.Fatal("matching not maximal")
+	}
+	if res.Size() == 0 && g.M() > 0 {
+		t.Fatal("empty matching on a graph with edges")
+	}
+}
+
+// ExampleSolve demonstrates the one-call API on a small fixed graph.
+func ExampleSolve() {
+	g := Grid(3, 3)
+	res, err := Solve(g, AlgorithmFeedback, WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(Verify(g, res.InMIS) == nil)
+	// Output: true
+}
+
+// ExampleColorGraph demonstrates (Δ+1)-coloring via iterated MIS.
+func ExampleColorGraph() {
+	g := Complete(4)
+	res, err := ColorGraph(g, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.NumColors)
+	// Output: 4
+}

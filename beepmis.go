@@ -1,0 +1,224 @@
+// Package beepmis is a Go implementation of the distributed maximal
+// independent set (MIS) algorithms of Scott, Jeavons & Xu, "Feedback from
+// nature: an optimal distributed algorithm for maximal independent set
+// selection" (PODC 2013), together with the baselines the paper compares
+// against and the simulation/runtime substrates needed to reproduce its
+// evaluation.
+//
+// The headline algorithm runs in the beeping model: nodes broadcast
+// anonymous one-bit "beeps" and adapt their beep probability from local
+// feedback (halve it when a neighbour beeps, double it — up to 1/2 —
+// otherwise). A node that beeps into silence joins the MIS. This takes
+// O(log n) expected time steps and O(1) expected beeps per node on any
+// graph.
+//
+// Quick start:
+//
+//	g := beepmis.GNP(500, 0.5, 1) // G(n=500, p=1/2), generation seed 1
+//	res, err := beepmis.Solve(g, beepmis.AlgorithmFeedback, beepmis.WithSeed(42))
+//	if err != nil { ... }
+//	fmt.Println(res.Rounds, res.SetSize())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every figure and table in the paper.
+package beepmis
+
+import (
+	"fmt"
+	"io"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/runtime"
+	"beepmis/internal/sim"
+)
+
+// Graph is an immutable simple undirected graph on vertices 0..N()-1.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces a Graph.
+type GraphBuilder = graph.Builder
+
+// FeedbackConfig tunes the feedback algorithm; its zero value is the
+// published algorithm (p₀ = 1/2, halve/double, cap 1/2, no floor).
+type FeedbackConfig = mis.FeedbackConfig
+
+// NewGraphBuilder returns a builder for a graph with n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// GNP returns an Erdős–Rényi random graph G(n, p) generated from seed.
+func GNP(n int, p float64, seed uint64) *Graph { return graph.GNP(n, p, rng.New(seed)) }
+
+// Grid returns the rows×cols rectangular grid graph.
+func Grid(rows, cols int) *Graph { return graph.Grid(rows, cols) }
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// CliqueFamily returns the Theorem 1 lower-bound family for parameter n.
+func CliqueFamily(n int) *Graph { return graph.CliqueFamily(n) }
+
+// UnitDisk returns a random unit-disk (wireless) graph with n nodes and
+// connection radius r, generated from seed.
+func UnitDisk(n int, r float64, seed uint64) *Graph {
+	return graph.UnitDisk(n, r, rng.New(seed))
+}
+
+// ReadEdgeList parses a graph in the textual edge-list format produced
+// by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g in a textual edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Verify checks that set is a maximal independent set of g.
+func Verify(g *Graph, set []bool) error { return graph.VerifyMIS(g, set) }
+
+// Algorithm selects an MIS algorithm.
+type Algorithm string
+
+// The implemented algorithms.
+const (
+	// AlgorithmFeedback is the paper's contribution: locally adapted
+	// beep probabilities, O(log n) expected time.
+	AlgorithmFeedback Algorithm = "feedback"
+	// AlgorithmGlobalSweep is Afek et al.'s DISC'11 preset sweeping
+	// schedule, Θ(log² n) expected time.
+	AlgorithmGlobalSweep Algorithm = "globalsweep"
+	// AlgorithmAfekOriginal is Afek et al.'s Science'11 schedule, which
+	// assumes knowledge of n and the maximum degree.
+	AlgorithmAfekOriginal Algorithm = "afek"
+	// AlgorithmLubyPermutation is Luby's algorithm, random-priority
+	// variant (multi-bit messages).
+	AlgorithmLubyPermutation Algorithm = "luby-permutation"
+	// AlgorithmLubyProbability is Luby's original marking variant.
+	AlgorithmLubyProbability Algorithm = "luby-probability"
+	// AlgorithmMetivier is the optimal-bit-complexity algorithm of
+	// Métivier et al. (bit-by-bit random duels; the paper's ref [18]).
+	AlgorithmMetivier Algorithm = "metivier"
+	// AlgorithmGreedy is the centralised sequential scan.
+	AlgorithmGreedy Algorithm = "greedy"
+)
+
+// Algorithms returns every selectable algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgorithmFeedback, AlgorithmGlobalSweep, AlgorithmAfekOriginal,
+		AlgorithmLubyPermutation, AlgorithmLubyProbability,
+		AlgorithmMetivier, AlgorithmGreedy,
+	}
+}
+
+// Result reports a Solve call.
+type Result struct {
+	// InMIS is the computed maximal independent set, indexed by vertex.
+	InMIS []bool
+	// Rounds is the number of synchronous rounds (0 for the centralised
+	// greedy baseline).
+	Rounds int
+	// TotalBeeps counts beeps across all nodes (beeping algorithms
+	// only).
+	TotalBeeps int
+	// MessageBits counts message payload bits (Luby variants only).
+	MessageBits int
+}
+
+// SetSize returns the number of vertices in the computed set.
+func (r *Result) SetSize() int {
+	count := 0
+	for _, in := range r.InMIS {
+		if in {
+			count++
+		}
+	}
+	return count
+}
+
+// MeanBeepsPerNode returns TotalBeeps averaged over the graph's nodes.
+func (r *Result) MeanBeepsPerNode() float64 {
+	if len(r.InMIS) == 0 {
+		return 0
+	}
+	return float64(r.TotalBeeps) / float64(len(r.InMIS))
+}
+
+// solveOptions collects Option settings.
+type solveOptions struct {
+	seed       uint64
+	maxRounds  int
+	feedback   FeedbackConfig
+	concurrent bool
+}
+
+// Option customises Solve.
+type Option func(*solveOptions)
+
+// WithSeed fixes the randomness seed; equal seeds give identical runs.
+func WithSeed(seed uint64) Option {
+	return func(o *solveOptions) { o.seed = seed }
+}
+
+// WithMaxRounds caps the number of synchronous rounds.
+func WithMaxRounds(max int) Option {
+	return func(o *solveOptions) { o.maxRounds = max }
+}
+
+// WithFeedbackConfig overrides the feedback algorithm's parameters.
+func WithFeedbackConfig(cfg FeedbackConfig) Option {
+	return func(o *solveOptions) { o.feedback = cfg }
+}
+
+// WithConcurrentEngine runs beeping algorithms on the goroutine-per-node
+// engine instead of the sequential simulator. Results are identical for
+// a given seed; the concurrent engine exists to demonstrate (and test)
+// the algorithms as real message-passing processes.
+func WithConcurrentEngine() Option {
+	return func(o *solveOptions) { o.concurrent = true }
+}
+
+// Solve computes a maximal independent set of g with the chosen
+// algorithm. The error wraps the engine's failure (e.g. a round cap hit)
+// if the run could not complete.
+func Solve(g *Graph, algo Algorithm, opts ...Option) (*Result, error) {
+	var o solveOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch algo {
+	case AlgorithmGreedy:
+		return &Result{InMIS: mis.Greedy(g)}, nil
+	case AlgorithmMetivier:
+		mr := mis.Metivier(g, rng.New(o.seed))
+		return &Result{InMIS: mr.InMIS, Rounds: mr.Rounds, MessageBits: mr.Bits}, nil
+	case AlgorithmLubyPermutation, AlgorithmLubyProbability:
+		variant := mis.LubyPermutation
+		if algo == AlgorithmLubyProbability {
+			variant = mis.LubyProbability
+		}
+		lr, err := mis.Luby(g, variant, rng.New(o.seed))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{InMIS: lr.InMIS, Rounds: lr.Rounds, MessageBits: lr.Bits}, nil
+	case AlgorithmFeedback, AlgorithmGlobalSweep, AlgorithmAfekOriginal:
+		factory, err := mis.NewFactory(mis.Spec{Name: string(algo), Feedback: o.feedback})
+		if err != nil {
+			return nil, err
+		}
+		if o.concurrent {
+			rr, err := runtime.Run(g, factory, rng.New(o.seed), runtime.Options{MaxRounds: o.maxRounds})
+			if err != nil {
+				return nil, err
+			}
+			return &Result{InMIS: rr.InMIS, Rounds: rr.Rounds, TotalBeeps: rr.TotalBeeps}, nil
+		}
+		sr, err := sim.Run(g, factory, rng.New(o.seed), sim.Options{MaxRounds: o.maxRounds})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{InMIS: sr.InMIS, Rounds: sr.Rounds, TotalBeeps: sr.TotalBeeps}, nil
+	default:
+		return nil, fmt.Errorf("beepmis: unknown algorithm %q (have %v)", algo, Algorithms())
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareFlagMatches(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	// Save a baseline, then compare an identical run against it.
+	if err := run([]string{"-exp", "fig5", "-trials", "2", "-maxn", "50", "-format", "json", "-out", baseline}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-trials", "2", "-maxn", "50", "-compare", baseline}, &out); err != nil {
+		t.Fatalf("identical run drifted: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "matches baseline") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestCompareFlagDetectsDrift(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	if err := run([]string{"-exp", "fig5", "-trials", "2", "-maxn", "50", "-format", "json", "-out", baseline}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// A different seed at tiny trial counts produces measurable drift at
+	// an absurdly tight tolerance.
+	var out bytes.Buffer
+	err := run([]string{"-exp", "fig5", "-trials", "2", "-maxn", "50", "-seed", "999", "-compare", baseline, "-tolerance", "0.0001"}, &out)
+	if err == nil {
+		t.Fatal("drift not detected at 0.01% tolerance")
+	}
+}
+
+func TestCompareFlagMissingBaseline(t *testing.T) {
+	err := run([]string{"-exp", "fig5", "-trials", "1", "-maxn", "25", "-compare", "/definitely/missing.json"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

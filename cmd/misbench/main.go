@@ -1,0 +1,158 @@
+// Command misbench regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	misbench -list
+//	misbench -exp fig3                      # paper-faithful trial counts
+//	misbench -exp fig5 -trials 20 -format plot
+//	misbench -exp all -trials 5 -maxn 300   # quick pass over everything
+//	misbench -exp fig3 -format csv -out fig3.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"beepmis/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "misbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("misbench", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		verdict = fs.Bool("verdict", false, "run the headline-claim pass/fail gate and exit")
+		exp     = fs.String("exp", "", "experiment id to run, or \"all\"")
+		trials  = fs.Int("trials", 0, "override per-point trial count (0 = paper default)")
+		maxN    = fs.Int("maxn", 0, "cap the largest workload size (0 = paper default)")
+		seed    = fs.Uint64("seed", 1, "master random seed")
+		format  = fs.String("format", "table", "output format: table, csv, json, or plot")
+		out     = fs.String("out", "", "write output to this file instead of stdout")
+		compare = fs.String("compare", "", "compare the run against a baseline JSON file (written with -format json); non-empty drift fails")
+		tol     = fs.Float64("tolerance", 0.2, "relative drift tolerance for -compare")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiment.IDs() {
+			title, err := experiment.Describe(id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-14s %s\n", id, title)
+		}
+		return nil
+	}
+	if *verdict {
+		return runVerdict(stdout, experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN})
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (use -list to see experiments)")
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiment.IDs()
+	}
+	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN}
+	for i, id := range ids {
+		res, err := experiment.Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		if *compare != "" {
+			if err := compareBaseline(w, res, *compare, *tol); err != nil {
+				return err
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		switch *format {
+		case "table":
+			fmt.Fprint(w, res.Table())
+		case "csv":
+			if err := res.CSV(w); err != nil {
+				return err
+			}
+		case "json":
+			if err := res.WriteJSON(w); err != nil {
+				return err
+			}
+		case "plot":
+			chart, err := res.Plot()
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, chart)
+		default:
+			return fmt.Errorf("unknown format %q (want table, csv, json, or plot)", *format)
+		}
+	}
+	return nil
+}
+
+// compareBaseline diffs res against a saved JSON baseline and errors on
+// drift beyond tolerance.
+func compareBaseline(w io.Writer, res *experiment.Result, path string, tolerance float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open baseline: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	baseline, err := experiment.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	findings := experiment.Compare(baseline, res, tolerance)
+	if len(findings) == 0 {
+		fmt.Fprintf(w, "%s: matches baseline %s within %.0f%%\n", res.ID, path, 100*tolerance)
+		return nil
+	}
+	for _, finding := range findings {
+		fmt.Fprintf(w, "%s: %s\n", res.ID, finding)
+	}
+	return fmt.Errorf("%s drifted from baseline %s (%d findings)", res.ID, path, len(findings))
+}
+
+// runVerdict prints the pass/fail gate and errors if any claim failed.
+func runVerdict(w io.Writer, cfg experiment.Config) error {
+	checks, err := experiment.Verdict(cfg)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%-4s %s\n     %s\n", status, c.Name, c.Detail)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d headline claims failed", failed, len(checks))
+	}
+	fmt.Fprintf(w, "all %d headline claims reproduce\n", len(checks))
+	return nil
+}

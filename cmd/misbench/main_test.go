@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig3", "fig5", "thm1", "thm6", "luby"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list output missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestMissingExp(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing -exp accepted")
+	}
+}
+
+func TestUnknownExp(t *testing.T) {
+	if err := run([]string{"-exp", "nope", "-trials", "1"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFormat(t *testing.T) {
+	err := run([]string{"-exp", "fig5", "-trials", "1", "-maxn", "25", "-format", "nope"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestTableOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-trials", "2", "-maxn", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "feedback") {
+		t.Fatalf("table missing feedback series:\n%s", out.String())
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-trials", "2", "-maxn", "50", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "x,series,mean,std,trials") {
+		t.Fatalf("csv header missing:\n%s", out.String())
+	}
+}
+
+func TestPlotOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-trials", "2", "-maxn", "75", "-format", "plot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig5") {
+		t.Fatalf("plot missing title:\n%s", out.String())
+	}
+}
+
+func TestOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "res.csv")
+	if err := run([]string{"-exp", "fig5", "-trials", "2", "-maxn", "50", "-format", "csv", "-out", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,series,mean,std,trials") {
+		t.Fatalf("file content wrong: %s", data)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

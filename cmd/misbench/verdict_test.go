@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVerdictFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-verdict", "-trials", "3", "-maxn", "150"}, &out); err != nil {
+		t.Fatalf("verdict failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if strings.Count(s, "PASS") != 5 {
+		t.Fatalf("expected 5 passing claims:\n%s", s)
+	}
+	if !strings.Contains(s, "all 5 headline claims reproduce") {
+		t.Fatalf("missing summary line:\n%s", s)
+	}
+}

@@ -1,0 +1,185 @@
+// Command misnode runs the beeping MIS protocol as a real distributed
+// system over TCP: one coordinator process (which knows the topology and
+// relays "heard a beep" bits, standing in for the shared radio medium)
+// and one or more node processes, each hosting one or more vertices.
+//
+// Usage:
+//
+//	# Terminal 1 — the coordinator, listening for 64 vertices:
+//	misnode -mode coord -addr 127.0.0.1:7788 -graph grid -rows 8 -cols 8
+//
+//	# Terminal 2..k — nodes, each hosting a range of vertices:
+//	misnode -mode node -addr 127.0.0.1:7788 -vertices 0-31  -seed 42
+//	misnode -mode node -addr 127.0.0.1:7788 -vertices 32-63 -seed 42
+//
+// All node processes must use the same -seed: each vertex derives its
+// private randomness stream from (seed, vertex id), which also makes the
+// distributed run reproduce `misrun -engine sim` exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "misnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("misnode", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "", "coord or node")
+		addr      = fs.String("addr", "127.0.0.1:7788", "coordinator address")
+		graphKind = fs.String("graph", "grid", "coord: graph family (gnp, grid, complete, cliques, file)")
+		n         = fs.Int("n", 64, "coord: node count (gnp, complete, cliques)")
+		p         = fs.Float64("p", 0.5, "coord: edge probability (gnp)")
+		rows      = fs.Int("rows", 8, "coord: grid rows")
+		cols      = fs.Int("cols", 8, "coord: grid columns")
+		in        = fs.String("in", "", "coord: edge-list file (graph=file)")
+		gseed     = fs.Uint64("graph-seed", 1, "coord: graph generation seed")
+		vertices  = fs.String("vertices", "", "node: vertex id or inclusive range lo-hi")
+		seed      = fs.Uint64("seed", 1, "node: master seed shared by all node processes")
+		algo      = fs.String("algo", "feedback", "node: beeping algorithm (feedback, globalsweep, afek, fixed)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *mode {
+	case "coord":
+		g, err := buildGraph(*graphKind, *n, *p, *rows, *cols, *in, *gseed)
+		if err != nil {
+			return err
+		}
+		return runCoord(stdout, g, *addr)
+	case "node":
+		lo, hi, err := parseRange(*vertices)
+		if err != nil {
+			return err
+		}
+		return runNodes(stdout, *addr, lo, hi, *seed, *algo)
+	default:
+		return fmt.Errorf("missing or unknown -mode %q (want coord or node)", *mode)
+	}
+}
+
+func runCoord(stdout io.Writer, g *graph.Graph, addr string) error {
+	coord, err := transport.NewCoordinator(g, addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = coord.Close() }()
+	return runCoordServe(stdout, coord, g)
+}
+
+// runCoordServe drives an already-listening coordinator to completion;
+// split from runCoord so tests can bind to an ephemeral port first.
+func runCoordServe(stdout io.Writer, coord *transport.Coordinator, g *graph.Graph) error {
+	fmt.Fprintf(stdout, "coordinator: graph n=%d m=%d, listening on %s, waiting for %d vertices\n",
+		g.N(), g.M(), coord.Addr(), g.N())
+	res, err := coord.Serve(transport.CoordinatorOptions{})
+	if err != nil {
+		return err
+	}
+	if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+		return fmt.Errorf("distributed result verification: %w", err)
+	}
+	fmt.Fprintf(stdout, "completed in %d rounds\n", res.Rounds)
+	fmt.Fprintf(stdout, "mis (size %d): %v\n", len(graph.SetToList(res.InMIS)), graph.SetToList(res.InMIS))
+	fmt.Fprintln(stdout, "verified: maximal independent set ✓")
+	return nil
+}
+
+func runNodes(stdout io.Writer, addr string, lo, hi int, seed uint64, algo string) error {
+	factory, err := mis.NewFactory(mis.Spec{Name: algo})
+	if err != nil {
+		return err
+	}
+	master := rng.New(seed)
+	var wg sync.WaitGroup
+	errs := make([]error, hi-lo+1)
+	results := make([]*transport.NodeResult, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := transport.RunNode(addr, v, factory, master.Stream(uint64(v)), transport.NodeOptions{})
+			results[v-lo] = res
+			errs[v-lo] = err
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("vertex %d: %w", lo+i, err)
+		}
+	}
+	for i, res := range results {
+		fmt.Fprintf(stdout, "vertex %d: state=%s beeps=%d rounds=%d\n", lo+i, res.State, res.Beeps, res.Rounds)
+	}
+	return nil
+}
+
+func parseRange(s string) (lo, hi int, err error) {
+	if s == "" {
+		return 0, 0, fmt.Errorf("node mode requires -vertices (id or lo-hi)")
+	}
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		lo, err = strconv.Atoi(s[:i])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad range %q: %w", s, err)
+		}
+		hi, err = strconv.Atoi(s[i+1:])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad range %q: %w", s, err)
+		}
+		if hi < lo {
+			return 0, 0, fmt.Errorf("range %q has hi < lo", s)
+		}
+		return lo, hi, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad vertex %q: %w", s, err)
+	}
+	return v, v, nil
+}
+
+func buildGraph(kind string, n int, p float64, rows, cols int, in string, seed uint64) (*graph.Graph, error) {
+	switch kind {
+	case "gnp":
+		return graph.GNP(n, p, rng.New(seed)), nil
+	case "grid":
+		return graph.Grid(rows, cols), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "cliques":
+		return graph.CliqueFamily(n), nil
+	case "file":
+		if in == "" {
+			return nil, fmt.Errorf("graph=file requires -in")
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, fmt.Errorf("open graph file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		return graph.ReadEdgeList(f)
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", kind)
+	}
+}

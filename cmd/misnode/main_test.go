@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/transport"
+)
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi int
+		ok     bool
+	}{
+		{"5", 5, 5, true},
+		{"0-15", 0, 15, true},
+		{"3-3", 3, 3, true},
+		{"", 0, 0, false},
+		{"5-2", 0, 0, false},
+		{"a", 0, 0, false},
+		{"1-b", 0, 0, false},
+		{"x-2", 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, err := parseRange(c.in)
+		if c.ok && (err != nil || lo != c.lo || hi != c.hi) {
+			t.Errorf("parseRange(%q) = %d,%d,%v", c.in, lo, hi, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseRange(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	g, err := buildGraph("grid", 0, 0, 3, 4, "", 1)
+	if err != nil || g.N() != 12 {
+		t.Fatalf("grid: %v %v", g, err)
+	}
+	g, err = buildGraph("gnp", 20, 0.5, 0, 0, "", 1)
+	if err != nil || g.N() != 20 {
+		t.Fatalf("gnp: %v %v", g, err)
+	}
+	if _, err := buildGraph("nope", 0, 0, 0, 0, "", 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := buildGraph("file", 0, 0, 0, 0, "", 1); err == nil {
+		t.Fatal("file without -in accepted")
+	}
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := os.WriteFile(path, []byte("n 2\n0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err = buildGraph("file", 0, 0, 0, 0, path, 1)
+	if err != nil || g.M() != 1 {
+		t.Fatalf("file: %v %v", g, err)
+	}
+}
+
+func TestRunModeErrors(t *testing.T) {
+	cases := [][]string{
+		{},                // missing mode
+		{"-mode", "nope"}, // unknown mode
+		{"-mode", "node"}, // missing vertices
+		{"-mode", "node", "-vertices", "0", "-algo", "nope"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestCoordAndNodesEndToEnd drives the two roles' inner functions over
+// loopback TCP within one process (the separate-process path is the same
+// code reached through run()).
+func TestCoordAndNodesEndToEnd(t *testing.T) {
+	g := graph.Grid(3, 3)
+	coord, err := transport.NewCoordinator(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+
+	var (
+		wg      sync.WaitGroup
+		nodeOut bytes.Buffer
+		nodeErr error
+		mu      sync.Mutex
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var buf bytes.Buffer
+		err := runNodes(&buf, coord.Addr(), 0, g.N()-1, 42, "feedback")
+		mu.Lock()
+		defer mu.Unlock()
+		nodeOut = buf
+		nodeErr = err
+	}()
+
+	var coordOut bytes.Buffer
+	if err := runCoordServe(&coordOut, coord, g); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if nodeErr != nil {
+		t.Fatalf("nodes: %v", nodeErr)
+	}
+	if !strings.Contains(coordOut.String(), "verified: maximal independent set") {
+		t.Fatalf("coordinator output:\n%s", coordOut.String())
+	}
+	if !strings.Contains(nodeOut.String(), "vertex 0:") {
+		t.Fatalf("node output:\n%s", nodeOut.String())
+	}
+}
+
+// freePort reserves an ephemeral port and releases it for the test to
+// reuse; the race window is negligible for a loopback test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestRunCoordAndNodeModes exercises the exact CLI paths (run with
+// -mode coord / -mode node) end to end.
+func TestRunCoordAndNodeModes(t *testing.T) {
+	addr := freePort(t)
+	coordOut := &bytes.Buffer{}
+	coordErr := make(chan error, 1)
+	go func() {
+		coordErr <- run([]string{"-mode", "coord", "-addr", addr, "-graph", "grid", "-rows", "3", "-cols", "3"}, coordOut)
+	}()
+	// Dial until the coordinator is listening (it may not be up yet).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			_ = conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never started listening")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var nodeOut bytes.Buffer
+	if err := run([]string{"-mode", "node", "-addr", addr, "-vertices", "0-8", "-seed", "3"}, &nodeOut); err != nil {
+		t.Fatalf("node mode: %v", err)
+	}
+	if err := <-coordErr; err != nil {
+		t.Fatalf("coord mode: %v\n%s", err, coordOut.String())
+	}
+	if !strings.Contains(coordOut.String(), "verified: maximal independent set") {
+		t.Fatalf("coordinator output:\n%s", coordOut.String())
+	}
+	if !strings.Contains(nodeOut.String(), "vertex 8:") {
+		t.Fatalf("node output:\n%s", nodeOut.String())
+	}
+}
+
+func TestRunCoordBadAddr(t *testing.T) {
+	if err := run([]string{"-mode", "coord", "-addr", "256.0.0.1:bad"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

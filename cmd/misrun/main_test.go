@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAlgosList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algos"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []string{"feedback", "globalsweep", "luby-permutation", "greedy"} {
+		if !strings.Contains(out.String(), a) {
+			t.Fatalf("algos output missing %q:\n%s", a, out.String())
+		}
+	}
+}
+
+func TestRunGNPFeedback(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "gnp", "-n", "80", "-algo", "feedback", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mis size:", "rounds:", "verified: maximal independent set"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunAllGraphKinds(t *testing.T) {
+	kinds := [][]string{
+		{"-graph", "gnp", "-n", "40"},
+		{"-graph", "grid", "-rows", "5", "-cols", "5"},
+		{"-graph", "complete", "-n", "15"},
+		{"-graph", "cliques", "-n", "100"},
+		{"-graph", "unitdisk", "-n", "50", "-radius", "0.2"},
+	}
+	for _, args := range kinds {
+		var out bytes.Buffer
+		if err := run(append(args, "-algo", "feedback"), &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunConcurrentEngine(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-graph", "gnp", "-n", "30", "-engine", "concurrent", "-show-set"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "set: [") {
+		t.Fatalf("show-set missing:\n%s", out.String())
+	}
+}
+
+func TestRunFileGraph(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := os.WriteFile(path, []byte("n 3\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "file", "-in", path, "-algo", "greedy"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=3 m=2") {
+		t.Fatalf("file graph not loaded:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "nope"},
+		{"-graph", "file"}, // missing -in
+		{"-graph", "file", "-in", "/definitely/missing/file"},
+		{"-engine", "nope"},
+		{"-algo", "nope"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunLubyShowsBits(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "gnp", "-n", "40", "-algo", "luby-permutation"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "message bits:") {
+		t.Fatalf("luby output missing bits:\n%s", out.String())
+	}
+}

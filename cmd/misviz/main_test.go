@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVizRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rows", "5", "-cols", "8", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"round 1", "verified ✓", "@"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVizFrameCap(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rows", "4", "-cols", "4", "-frames", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out.String(), "round "); n != 2 {
+		t.Fatalf("printed %d frames, want 2", n)
+	}
+}
+
+func TestVizGlobalSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rows", "4", "-cols", "6", "-algo", "globalsweep", "-frames", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVizErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-algo", "nope"},
+		{"-bad-flag"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestVizRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	var live bytes.Buffer
+	if err := run([]string{"-rows", "4", "-cols", "6", "-seed", "5", "-record", path}, &live); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(live.String(), "recorded") {
+		t.Fatalf("no recording confirmation:\n%s", live.String())
+	}
+	var replayed bytes.Buffer
+	if err := run([]string{"-replay", path}, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(replayed.String(), "replaying") {
+		t.Fatalf("replay output:\n%s", replayed.String())
+	}
+	// The replay must render the exact same frames as the live run.
+	liveFrames := framesOf(live.String())
+	replayFrames := framesOf(replayed.String())
+	if len(liveFrames) == 0 || len(liveFrames) != len(replayFrames) {
+		t.Fatalf("frame counts: live %d, replay %d", len(liveFrames), len(replayFrames))
+	}
+	for i := range liveFrames {
+		if liveFrames[i] != replayFrames[i] {
+			t.Fatalf("frame %d differs between live and replay", i)
+		}
+	}
+}
+
+// framesOf extracts the box-drawn frames from output.
+func framesOf(s string) []string {
+	var frames []string
+	for _, chunk := range strings.Split(s, "round ") {
+		if i := strings.Index(chunk, "+"); i >= 0 {
+			if j := strings.LastIndex(chunk, "+"); j > i {
+				frames = append(frames, chunk[i:j+1])
+			}
+		}
+	}
+	return frames
+}
+
+func TestVizReplayErrors(t *testing.T) {
+	if err := run([]string{"-replay", "/definitely/missing.jsonl"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing recording accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"n":4,"algorithm":"feedback","seed":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// No grid metadata.
+	if err := run([]string{"-replay", bad}, &bytes.Buffer{}); err == nil {
+		t.Fatal("recording without metadata accepted")
+	}
+}

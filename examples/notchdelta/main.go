@@ -1,0 +1,91 @@
+// Notchdelta: from biology to algorithm. Runs the continuous
+// Collier et al. (1996) Delta–Notch lateral-inhibition dynamics — the
+// mechanism of the paper's §2 / Figure 4 — on a cell sheet, then runs
+// the paper's discrete feedback algorithm on the same sheet, and
+// compares the patterns: both produce high-Delta / MIS "sender" cells
+// with no two adjacent, but the continuous dynamics can leave
+// unresolved receivers (domination gaps) that the discrete algorithm,
+// by construction, cannot.
+//
+//	go run ./examples/notchdelta
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/notch"
+	"beepmis/internal/rng"
+	"beepmis/internal/sim"
+)
+
+const (
+	rows = 12
+	cols = 28
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g := graph.Grid(rows, cols)
+	fmt.Printf("cell sheet: %d×%d (%d cells)\n\n", rows, cols, g.N())
+
+	// Continuous biology: Collier et al. dynamics.
+	state, err := notch.Simulate(g, notch.Params{}, rng.New(1996))
+	if err != nil {
+		return err
+	}
+	violations, gaps := notch.PatternQuality(g, state.HighDelta)
+	fmt.Println("Delta–Notch dynamics (Collier et al. 1996), senders = high-Delta cells:")
+	fmt.Println(renderPattern(state.HighDelta))
+	fmt.Printf("senders: %d | adjacent-sender violations: %d | undominated receivers: %d\n\n",
+		len(state.Senders()), violations, gaps)
+
+	// Discrete algorithm: the paper's abstraction of the same feedback.
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(g, factory, rng.New(2013), sim.Options{})
+	if err != nil {
+		return err
+	}
+	if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+		return fmt.Errorf("discrete result invalid: %w", err)
+	}
+	v2, g2 := notch.PatternQuality(g, res.InMIS)
+	fmt.Printf("feedback algorithm (PODC 2013), %d rounds:\n", res.Rounds)
+	fmt.Println(renderPattern(res.InMIS))
+	fmt.Printf("members: %d | violations: %d | undominated: %d (maximal independent set — always 0/0)\n",
+		len(graph.SetToList(res.InMIS)), v2, g2)
+
+	fmt.Println("\nthe discrete algorithm is the biology with the imperfections proved away:")
+	fmt.Printf("  continuous: independence %v, full domination %v\n", violations == 0, gaps == 0)
+	fmt.Printf("  discrete:   independence true, full domination true (Theorem 2)\n")
+	return nil
+}
+
+// renderPattern draws senders as '@' and receivers as '·'.
+func renderPattern(senders []bool) string {
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if senders[r*cols+c] {
+				b.WriteRune('@')
+			} else {
+				b.WriteRune('·')
+			}
+		}
+		if r != rows-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

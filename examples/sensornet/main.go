@@ -1,0 +1,151 @@
+// Sensornet: clusterhead election in an ad hoc wireless network — the
+// application the paper's conclusion motivates ("ad hoc sensor networks
+// and wireless communication systems").
+//
+// Sensors are scattered uniformly in the unit square and can hear each
+// other within a radio radius. A maximal independent set of the
+// resulting unit-disk graph is exactly a clusterhead assignment: every
+// sensor is a clusterhead or within radio range of one, and no two
+// clusterheads interfere. The beeping model is a natural fit because a
+// radio can only carrier-sense ("did anyone transmit?"), which is
+// precisely a beep.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"beepmis"
+	"beepmis/internal/apps"
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		sensors = 400
+		radius  = 0.08
+		seed    = 7
+	)
+	g, xs, ys := graph.UnitDiskPoints(sensors, radius, rng.New(seed))
+	fmt.Printf("sensor field: %d sensors, radio radius %.2f → %d interference edges, max degree %d\n\n",
+		sensors, radius, g.M(), g.MaxDegree())
+
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(g, factory, rng.New(seed+1), sim.Options{})
+	if err != nil {
+		return err
+	}
+	if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+		return fmt.Errorf("clusterhead set invalid: %w", err)
+	}
+
+	heads := graph.SetToList(res.InMIS)
+	fmt.Printf("elected %d clusterheads in %d rounds (%.2f beeps per sensor)\n\n",
+		len(heads), res.Rounds, res.MeanBeepsPerNode())
+	fmt.Println(renderField(xs, ys, res.InMIS, 60, 24))
+	fmt.Println("  # clusterhead   . covered sensor")
+
+	// Compare the schedules on the same field: the feedback rule wins on
+	// both time and beeps (energy — transmissions dominate a radio's
+	// power budget).
+	fmt.Printf("\n%-14s %8s %12s\n", "schedule", "rounds", "beeps/sensor")
+	for _, name := range []string{mis.NameFeedback, mis.NameGlobalSweep, mis.NameAfek} {
+		f, err := mis.NewFactory(mis.Spec{Name: name})
+		if err != nil {
+			return err
+		}
+		r, err := sim.Run(g, f, rng.New(seed+2), sim.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %8d %12.2f\n", name, r.Rounds, r.MeanBeepsPerNode())
+	}
+
+	// Robustness: a noisy field where 5% of beeps are lost.
+	lossy, err := sim.Run(g, factory, rng.New(seed+3), sim.Options{BeepLoss: 0.05})
+	if err != nil {
+		return err
+	}
+	indep := graph.IsIndependent(g, lossy.InMIS)
+	fmt.Printf("\nwith 5%% beep loss: %d rounds, independent=%v (loss can elect interfering heads — see ablate-loss)\n",
+		lossy.Rounds, indep)
+
+	// Build the cluster structure on the elected heads: every sensor
+	// attaches to an adjacent head — the routing/aggregation backbone
+	// cluster-based ad hoc protocols start from.
+	clustering, err := apps.Clusters(g, res.InMIS)
+	if err != nil {
+		return err
+	}
+	sizes := make([]float64, 0, clustering.NumClusters())
+	largest := 0
+	for _, s := range clustering.Sizes {
+		sizes = append(sizes, float64(s))
+		if s > largest {
+			largest = s
+		}
+	}
+	var meanSize float64
+	for _, s := range sizes {
+		meanSize += s
+	}
+	meanSize /= float64(len(sizes))
+	fmt.Printf("\ncluster backbone: %d clusters, mean size %.1f, largest %d\n",
+		clustering.NumClusters(), meanSize, largest)
+
+	// Demonstrate the public one-call API on the same network.
+	quick, err := beepmis.Solve(g, beepmis.AlgorithmFeedback, beepmis.WithSeed(seed+4))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("one-call API: beepmis.Solve elected %d heads in %d rounds\n", quick.SetSize(), quick.Rounds)
+	return nil
+}
+
+// renderField draws the sensor field as ASCII, marking clusterheads.
+func renderField(xs, ys []float64, heads []bool, w, h int) string {
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	place := func(x, y float64) (int, int) {
+		c := int(x * float64(w-1))
+		r := int(y * float64(h-1))
+		return r, c
+	}
+	for i := range xs {
+		if heads[i] {
+			continue // draw heads last so they are never overdrawn
+		}
+		r, c := place(xs[i], ys[i])
+		grid[r][c] = '.'
+	}
+	for i := range xs {
+		if heads[i] {
+			r, c := place(xs[i], ys[i])
+			grid[r][c] = '#'
+		}
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range grid {
+		b.WriteString("|" + string(row) + "|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "+")
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"beepmis/internal/graph"
+)
+
+// ErrNotDominating indicates cluster formation was asked to attach nodes
+// to a set that does not dominate the graph.
+var ErrNotDominating = errors.New("apps: head set does not dominate the graph")
+
+// Clustering assigns every node to a clusterhead.
+type Clustering struct {
+	// Head[v] is the clusterhead vertex that v belongs to; heads map to
+	// themselves.
+	Head []int
+	// Sizes maps each head to its cluster size (including itself).
+	Sizes map[int]int
+}
+
+// NumClusters returns the number of clusters.
+func (c *Clustering) NumClusters() int { return len(c.Sizes) }
+
+// Clusters partitions the graph around an MIS (or any dominating set):
+// each head forms a cluster of itself plus adjacent non-members, the
+// standard first step of cluster-based routing and data aggregation in
+// ad hoc networks — the application domain the paper's conclusion names.
+// A non-member adjacent to several heads deterministically joins the
+// lowest-numbered one (in a deployment: the first head heard).
+func Clusters(g *graph.Graph, heads []bool) (*Clustering, error) {
+	if len(heads) != g.N() {
+		return nil, fmt.Errorf("apps: %d head entries for %d vertices", len(heads), g.N())
+	}
+	c := &Clustering{
+		Head:  make([]int, g.N()),
+		Sizes: make(map[int]int),
+	}
+	for v := 0; v < g.N(); v++ {
+		if heads[v] {
+			c.Head[v] = v
+			c.Sizes[v]++
+			continue
+		}
+		assigned := -1
+		for _, w := range g.Neighbors(v) {
+			if heads[w] {
+				assigned = int(w)
+				break // adjacency lists are sorted: lowest head wins
+			}
+		}
+		if assigned == -1 {
+			return nil, fmt.Errorf("%w: vertex %d has no head neighbour", ErrNotDominating, v)
+		}
+		c.Head[v] = assigned
+		c.Sizes[assigned]++
+	}
+	return c, nil
+}
+
+// VerifyClustering checks internal consistency: heads own themselves,
+// members are adjacent to their head, and sizes add up.
+func VerifyClustering(g *graph.Graph, heads []bool, c *Clustering) error {
+	if len(c.Head) != g.N() {
+		return fmt.Errorf("apps: clustering covers %d of %d vertices", len(c.Head), g.N())
+	}
+	total := 0
+	for _, size := range c.Sizes {
+		total += size
+	}
+	if total != g.N() {
+		return fmt.Errorf("apps: cluster sizes sum to %d, want %d", total, g.N())
+	}
+	for v, h := range c.Head {
+		if h < 0 || h >= g.N() || !heads[h] {
+			return fmt.Errorf("apps: vertex %d assigned to non-head %d", v, h)
+		}
+		if v == h {
+			continue
+		}
+		if !g.HasEdge(v, h) {
+			return fmt.Errorf("apps: vertex %d not adjacent to its head %d", v, h)
+		}
+	}
+	return nil
+}

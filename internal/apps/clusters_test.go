@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/sim"
+)
+
+func misOf(t *testing.T, g *graph.Graph, seed uint64) []bool {
+	t.Helper()
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(g, factory, rng.New(seed), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.InMIS
+}
+
+func TestClustersFromMIS(t *testing.T) {
+	src := rng.New(1)
+	for name, g := range map[string]*graph.Graph{
+		"gnp":  graph.GNP(120, 0.1, src),
+		"grid": graph.Grid(9, 9),
+		"star": graph.Star(20),
+	} {
+		heads := misOf(t, g, 7)
+		c, err := Clusters(g, heads)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyClustering(g, heads, c); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.NumClusters() != len(graph.SetToList(heads)) {
+			t.Fatalf("%s: %d clusters for %d heads", name, c.NumClusters(), len(graph.SetToList(heads)))
+		}
+	}
+}
+
+func TestClustersHeadOwnsItself(t *testing.T) {
+	g := graph.Star(5)
+	heads := misOf(t, g, 2)
+	c, err := Clusters(g, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, h := range c.Head {
+		if heads[v] && h != v {
+			t.Fatalf("head %d assigned to %d", v, h)
+		}
+	}
+}
+
+func TestClustersRejectsNonDominating(t *testing.T) {
+	g := graph.Path(3)
+	// Only vertex 0 as head: vertex 2 has no head neighbour.
+	_, err := Clusters(g, []bool{true, false, false})
+	if !errors.Is(err, ErrNotDominating) {
+		t.Fatalf("err = %v, want ErrNotDominating", err)
+	}
+	if _, err := Clusters(g, []bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestClustersDeterministicTieBreak(t *testing.T) {
+	// Vertex 1 adjacent to heads 0 and 2: must join the lower id.
+	g := graph.Path(3)
+	c, err := Clusters(g, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Head[1] != 0 {
+		t.Fatalf("vertex 1 joined head %d, want 0", c.Head[1])
+	}
+	if c.Sizes[0] != 2 || c.Sizes[2] != 1 {
+		t.Fatalf("sizes = %v", c.Sizes)
+	}
+}
+
+func TestVerifyClusteringCatchesCorruption(t *testing.T) {
+	g := graph.Path(3)
+	heads := []bool{true, false, true}
+	c, err := Clusters(g, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: assign vertex 1 to a non-adjacent, non-head vertex.
+	c.Head[1] = 1
+	if err := VerifyClustering(g, heads, c); err == nil {
+		t.Fatal("corrupted clustering accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package beep
+
+import "testing"
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		StateActive:    "active",
+		StateInMIS:     "in-mis",
+		StateDominated: "dominated",
+		StateCrashed:   "crashed",
+		State(9):       "state(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestStateTerminal(t *testing.T) {
+	if StateActive.Terminal() {
+		t.Fatal("active must not be terminal")
+	}
+	for _, s := range []State{StateInMIS, StateDominated, StateCrashed} {
+		if !s.Terminal() {
+			t.Fatalf("%v must be terminal", s)
+		}
+	}
+}
+
+func TestStateZeroValueIsInvalid(t *testing.T) {
+	// Enums start at one so the zero value is detectably uninitialised.
+	var s State
+	if s == StateActive || s == StateInMIS || s == StateDominated || s == StateCrashed {
+		t.Fatal("zero State collides with a defined state")
+	}
+}

@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/sim"
+	"beepmis/internal/stats"
+)
+
+// runAblateFactor sweeps the feedback update factor away from the
+// paper's 2. §6 claims the analysis "can be adapted to a wide range of
+// different values for these factors"; this measures the constant-factor
+// cost of that freedom on G(500, 1/2).
+func runAblateFactor(cfg Config) (*Result, error) {
+	n := 500
+	if cfg.MaxN > 0 && cfg.MaxN < n {
+		n = cfg.MaxN
+	}
+	factors := []float64{1.25, 1.5, 2, 3, 4}
+	trials := cfg.trials(50)
+	master := rng.New(cfg.Seed)
+
+	res := &Result{
+		ID:     "ablate-factor",
+		Title:  fmt.Sprintf("feedback update factor sweep on G(%d,1/2)", n),
+		XLabel: "factor",
+		YLabel: "time steps",
+	}
+	series := Series{Name: "feedback"}
+	for fi, factor := range factors {
+		factory, err := mis.NewFeedback(mis.FeedbackConfig{Factor: factor})
+		if err != nil {
+			return nil, err
+		}
+		pt, censored, err := sweepPoint(master, fi, trials, 0, factory, gnpHalf(n), roundsMetric)
+		if err != nil {
+			return nil, fmt.Errorf("factor %v: %w", factor, err)
+		}
+		if censored > 0 {
+			res.Notes = append(res.Notes, fmt.Sprintf("factor %v: %d/%d trials censored", factor, censored, trials))
+		}
+		pt.X = factor
+		series.Points = append(series.Points, pt)
+	}
+	res.Series = append(res.Series, series)
+	res.Notes = append(res.Notes, "paper §6: any factor > 1 retains O(log n); expect a shallow optimum near 2")
+	return res, nil
+}
+
+// runAblateInit exercises §6's claim that initial probabilities "may
+// vary from node to node" without significant impact: uniform p₀ of 1/2,
+// 1/16 and 1/64, plus a heterogeneous assignment where each node draws
+// p₀ = 2^-(1 + id mod 6).
+func runAblateInit(cfg Config) (*Result, error) {
+	ns := cfg.sizes(intRange(100, 500, 100))
+	trials := cfg.trials(50)
+	master := rng.New(cfg.Seed)
+
+	res := &Result{
+		ID:     "ablate-init",
+		Title:  "feedback initial-probability robustness on G(n,1/2)",
+		XLabel: "n",
+		YLabel: "time steps",
+	}
+	uniform := []struct {
+		name string
+		p0   float64
+	}{
+		{"p0=1/2 (paper)", 0.5},
+		{"p0=1/16", 1.0 / 16},
+		{"p0=1/64", 1.0 / 64},
+	}
+	for ui, u := range uniform {
+		factory, err := mis.NewFeedback(mis.FeedbackConfig{InitialP: u.p0})
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Name: u.name}
+		for si, n := range ns {
+			pt, _, err := sweepPoint(master, ui*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", u.name, n, err)
+			}
+			pt.X = float64(n)
+			series.Points = append(series.Points, pt)
+		}
+		res.Series = append(res.Series, series)
+	}
+
+	hetero, err := mis.NewFeedbackHeterogeneous(mis.FeedbackConfig{}, func(id int) float64 {
+		shift := uint(1 + id%6)
+		return 1 / float64(int(1)<<shift)
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := Series{Name: "p0 random per node"}
+	for si, n := range ns {
+		pt, _, err := sweepPoint(master, 9000+si, trials, 0, hetero, gnpHalf(n), roundsMetric)
+		if err != nil {
+			return nil, fmt.Errorf("hetero n=%d: %w", n, err)
+		}
+		pt.X = float64(n)
+		series.Points = append(series.Points, pt)
+	}
+	res.Series = append(res.Series, series)
+	res.Notes = append(res.Notes, "paper §6: performance is insensitive to initial values bounded away from zero")
+	return res, nil
+}
+
+// runAblateLoss goes beyond the paper: beeps are dropped independently
+// per (beeper, listener) pair with the swept probability. Loss slows
+// convergence mildly but — more importantly — can break *independence*
+// (two mutually-deaf neighbours may both join), which the violation-rate
+// series quantifies. Join announcements stay reliable, so termination
+// and domination are unaffected.
+func runAblateLoss(cfg Config) (*Result, error) {
+	n := 300
+	if cfg.MaxN > 0 && cfg.MaxN < n {
+		n = cfg.MaxN
+	}
+	losses := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	trials := cfg.trials(100)
+	master := rng.New(cfg.Seed)
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "ablate-loss",
+		Title:  fmt.Sprintf("feedback under beep loss on G(%d,1/2)", n),
+		XLabel: "loss probability",
+		YLabel: "time steps / violation %",
+	}
+	roundsSeries := Series{Name: "time steps"}
+	violSeries := Series{Name: "independence violations (%)"}
+	for li, loss := range losses {
+		rounds := make([]float64, 0, trials)
+		violations := 0
+		for trial := 0; trial < trials; trial++ {
+			g := graph.GNP(n, 0.5, master.Stream(trialKey(li, trial, 1)))
+			r, err := sim.Run(g, factory, master.Stream(trialKey(li, trial, 2)), sim.Options{BeepLoss: loss})
+			if err != nil {
+				if errors.Is(err, sim.ErrTooManyRounds) {
+					rounds = append(rounds, float64(r.Rounds))
+					continue
+				}
+				return nil, fmt.Errorf("loss %v: %w", loss, err)
+			}
+			rounds = append(rounds, float64(r.Rounds))
+			if !graph.IsIndependent(g, r.InMIS) {
+				violations++
+			}
+		}
+		roundsSeries.Points = append(roundsSeries.Points, Point{
+			X: loss, Mean: stats.Mean(rounds), Std: stats.StdDev(rounds), Trials: trials,
+		})
+		violSeries.Points = append(violSeries.Points, Point{
+			X: loss, Mean: 100 * float64(violations) / float64(trials), Trials: trials,
+		})
+	}
+	res.Series = append(res.Series, roundsSeries, violSeries)
+	res.Notes = append(res.Notes, "loss on the first exchange only; join announcements reliable (see DESIGN.md)")
+	return res, nil
+}
+
+// runAblateFloor ablates the probability floor (MinP) on the Theorem 1
+// clique family. The paper's algorithm has no floor; a floor that is too
+// high prevents nodes in large cliques from backing off far enough, so
+// unique-beeper events become rare and convergence stalls — demonstrated
+// here by censoring at a round cap.
+func runAblateFloor(cfg Config) (*Result, error) {
+	ks := []int{4, 8, 12}
+	var ns []int
+	for _, k := range ks {
+		ns = append(ns, k*k*(k+1)/2)
+	}
+	ns = cfg.sizes(ns)
+	floors := []struct {
+		name string
+		minP float64
+	}{
+		{"no floor (paper)", 0},
+		{"floor 1/64", 1.0 / 64},
+		{"floor 1/8", 1.0 / 8},
+	}
+	trials := cfg.trials(30)
+	const roundCap = 20000
+	master := rng.New(cfg.Seed)
+
+	res := &Result{
+		ID:     "ablate-floor",
+		Title:  "probability floor on the union-of-cliques family",
+		XLabel: "n",
+		YLabel: fmt.Sprintf("time steps (censored at %d)", roundCap),
+	}
+	for fi, fl := range floors {
+		factory, err := mis.NewFeedback(mis.FeedbackConfig{MinP: fl.minP})
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Name: fl.name}
+		for si, n := range ns {
+			n := n
+			pt, censored, err := sweepPoint(master, fi*1000+si, trials, roundCap, factory,
+				func(*rng.Source) *graph.Graph { return graph.CliqueFamily(n) },
+				roundsMetric)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", fl.name, n, err)
+			}
+			if censored > 0 {
+				res.Notes = append(res.Notes, fmt.Sprintf("%s n=%d: %d/%d trials censored at %d rounds", fl.name, n, censored, trials, roundCap))
+			}
+			pt.X = float64(n)
+			series.Points = append(series.Points, pt)
+		}
+		res.Series = append(res.Series, series)
+	}
+	res.Notes = append(res.Notes, "a fixed floor must lose to growing clique sizes; the paper's floorless rule adapts")
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/stats"
+)
+
+// runLuby compares Luby's algorithm (both variants) with the feedback
+// algorithm on the Figure 3 workload. Both are O(log n) in rounds; the
+// point of the comparison — made in §1 and §5 of the paper — is that the
+// feedback algorithm matches Luby's round complexity while using one-bit
+// messages and no degree knowledge. Message bits per node are recorded in
+// the notes.
+func runLuby(cfg Config) (*Result, error) {
+	ns := cfg.sizes(intRange(100, 1000, 100))
+	trials := cfg.trials(50)
+	master := rng.New(cfg.Seed)
+
+	res := &Result{
+		ID:     "luby",
+		Title:  "Luby vs feedback: rounds on G(n,1/2)",
+		XLabel: "n",
+		YLabel: "rounds",
+	}
+
+	// Luby variants (message-passing, run directly on the graph).
+	variants := []mis.LubyVariant{mis.LubyPermutation, mis.LubyProbability}
+	totalBits := map[string]float64{}
+	for vi, variant := range variants {
+		series := Series{Name: variant.String()}
+		for si, n := range ns {
+			rounds := make([]float64, 0, trials)
+			bits := 0.0
+			for trial := 0; trial < trials; trial++ {
+				g := graph.GNP(n, 0.5, master.Stream(trialKey(vi*1000+si, trial, 1)))
+				lr, err := mis.Luby(g, variant, master.Stream(trialKey(vi*1000+si, trial, 2)))
+				if err != nil {
+					return nil, fmt.Errorf("%v n=%d: %w", variant, n, err)
+				}
+				if err := graph.VerifyMIS(g, lr.InMIS); err != nil {
+					return nil, fmt.Errorf("%v n=%d: invalid MIS: %w", variant, n, err)
+				}
+				rounds = append(rounds, float64(lr.Rounds))
+				bits += float64(lr.Bits) / float64(n)
+			}
+			series.Points = append(series.Points, Point{
+				X:      float64(n),
+				Mean:   stats.Mean(rounds),
+				Std:    stats.StdDev(rounds),
+				Trials: trials,
+			})
+			if n == ns[len(ns)-1] {
+				totalBits[variant.String()] = bits / float64(trials)
+			}
+		}
+		res.Series = append(res.Series, series)
+	}
+
+	// Feedback, via the simulator.
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		return nil, err
+	}
+	series := Series{Name: "feedback"}
+	maxN := ns[len(ns)-1]
+	for si, n := range ns {
+		n := n
+		pt, _, err := sweepPoint(master, 9000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+		if err != nil {
+			return nil, fmt.Errorf("feedback n=%d: %w", n, err)
+		}
+		pt.X = float64(n)
+		series.Points = append(series.Points, pt)
+		if n == maxN {
+			// One extra pass for the bit accounting note: each beep is
+			// one bit on each incident channel.
+			beepsPt, _, err := sweepPoint(master, 9500+si, trials, 0, factory, gnpHalf(n), beepsMetric)
+			if err != nil {
+				return nil, err
+			}
+			totalBits["feedback"] = beepsPt.Mean
+		}
+	}
+	res.Series = append(res.Series, series)
+
+	for name, bits := range totalBits {
+		res.Notes = append(res.Notes, fmt.Sprintf("%s: ≈%.1f message bits per node at n=%d (per incident channel for beeps)", name, bits, maxN))
+	}
+	appendFitNotes(res, "luby-permutation", "luby-probability", "feedback")
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Compare diffs two results of the same experiment (e.g. a saved
+// baseline JSON and a fresh run) and returns human-readable findings for
+// every point whose means differ by more than tolerance, expressed as a
+// fraction of the baseline mean (tolerance 0.2 = 20%). Missing series or
+// points are reported too. An empty return means the runs agree within
+// tolerance — the CI contract for "the reproduction still reproduces".
+func Compare(baseline, current *Result, tolerance float64) []string {
+	var findings []string
+	if baseline.ID != current.ID {
+		findings = append(findings, fmt.Sprintf("experiment id differs: %q vs %q", baseline.ID, current.ID))
+		return findings
+	}
+	if tolerance <= 0 {
+		tolerance = 0.2
+	}
+	curSeries := make(map[string]Series, len(current.Series))
+	for _, s := range current.Series {
+		curSeries[s.Name] = s
+	}
+	for _, bs := range baseline.Series {
+		cs, ok := curSeries[bs.Name]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("series %q missing from current run", bs.Name))
+			continue
+		}
+		curPoints := make(map[float64]Point, len(cs.Points))
+		for _, p := range cs.Points {
+			curPoints[p.X] = p
+		}
+		for _, bp := range bs.Points {
+			cp, ok := curPoints[bp.X]
+			if !ok {
+				findings = append(findings, fmt.Sprintf("series %q: point x=%v missing from current run", bs.Name, bp.X))
+				continue
+			}
+			denom := math.Abs(bp.Mean)
+			if denom < 1e-12 {
+				if math.Abs(cp.Mean) > tolerance {
+					findings = append(findings, fmt.Sprintf(
+						"series %q x=%v: baseline mean 0, current %v", bs.Name, bp.X, cp.Mean))
+				}
+				continue
+			}
+			rel := math.Abs(cp.Mean-bp.Mean) / denom
+			if rel > tolerance {
+				findings = append(findings, fmt.Sprintf(
+					"series %q x=%v: mean %.3f vs baseline %.3f (%.0f%% drift > %.0f%% tolerance)",
+					bs.Name, bp.X, cp.Mean, bp.Mean, 100*rel, 100*tolerance))
+			}
+		}
+	}
+	return findings
+}

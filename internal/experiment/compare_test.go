@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkResult(id string, mean float64) *Result {
+	return &Result{
+		ID: id,
+		Series: []Series{
+			{Name: "s", Points: []Point{{X: 100, Mean: mean, Trials: 10}}},
+		},
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	findings := Compare(mkResult("fig3", 20), mkResult("fig3", 22), 0.2)
+	if len(findings) != 0 {
+		t.Fatalf("10%% drift flagged at 20%% tolerance: %v", findings)
+	}
+}
+
+func TestCompareFlagsDrift(t *testing.T) {
+	findings := Compare(mkResult("fig3", 20), mkResult("fig3", 30), 0.2)
+	if len(findings) != 1 || !strings.Contains(findings[0], "drift") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestCompareIDMismatch(t *testing.T) {
+	findings := Compare(mkResult("fig3", 20), mkResult("fig5", 20), 0.2)
+	if len(findings) != 1 || !strings.Contains(findings[0], "id differs") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestCompareMissingSeriesAndPoints(t *testing.T) {
+	base := &Result{ID: "x", Series: []Series{
+		{Name: "a", Points: []Point{{X: 1, Mean: 5}, {X: 2, Mean: 6}}},
+		{Name: "b", Points: []Point{{X: 1, Mean: 7}}},
+	}}
+	cur := &Result{ID: "x", Series: []Series{
+		{Name: "a", Points: []Point{{X: 1, Mean: 5}}},
+	}}
+	findings := Compare(base, cur, 0.2)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := mkResult("x", 0)
+	if f := Compare(base, mkResult("x", 0.1), 0.2); len(f) != 0 {
+		t.Fatalf("small absolute drift from zero flagged: %v", f)
+	}
+	if f := Compare(base, mkResult("x", 5), 0.2); len(f) != 1 {
+		t.Fatalf("large drift from zero not flagged: %v", f)
+	}
+}
+
+func TestCompareDefaultTolerance(t *testing.T) {
+	// tolerance <= 0 falls back to 20%.
+	if f := Compare(mkResult("x", 10), mkResult("x", 11), 0); len(f) != 0 {
+		t.Fatalf("10%% drift flagged under default tolerance: %v", f)
+	}
+}
+
+func TestCompareAgainstSelfRun(t *testing.T) {
+	// A real experiment compared against itself must agree exactly.
+	res, err := Run("fig5", Config{Seed: 5, Trials: 2, MaxN: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run("fig5", Config{Seed: 5, Trials: 2, MaxN: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := Compare(res, res2, 0.01); len(f) != 0 {
+		t.Fatalf("identical runs differ: %v", f)
+	}
+}

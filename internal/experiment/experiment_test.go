@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment smoke tests fast: 2 trials, small sweeps.
+var quickCfg = Config{Seed: 7, Trials: 2, MaxN: 150}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"ablate-factor", "ablate-floor", "ablate-init", "ablate-jitter",
+		"ablate-loss", "bits", "families", "fig3", "fig5", "luby",
+		"thm1", "thm6", "wakeup",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, id := range IDs() {
+		title, err := Describe(id)
+		if err != nil || title == "" {
+			t.Fatalf("Describe(%q) = %q, %v", id, title, err)
+		}
+	}
+	if _, err := Describe("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", quickCfg); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, quickCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Fatalf("result ID %q", res.ID)
+			}
+			if len(res.Series) == 0 {
+				t.Fatal("no series")
+			}
+			for _, s := range res.Series {
+				if len(s.Points) == 0 {
+					t.Fatalf("series %q empty", s.Name)
+				}
+				for _, p := range s.Points {
+					if p.Mean < 0 {
+						t.Fatalf("series %q has negative mean %v", s.Name, p.Mean)
+					}
+				}
+			}
+			table := res.Table()
+			if !strings.Contains(table, id) {
+				t.Fatalf("table missing id:\n%s", table)
+			}
+			var csv bytes.Buffer
+			if err := res.CSV(&csv); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(csv.String(), "x,series,mean,std,trials\n") {
+				t.Fatalf("csv header wrong:\n%s", csv.String())
+			}
+			if _, err := res.Plot(); err != nil {
+				t.Fatalf("plot: %v", err)
+			}
+		})
+	}
+}
+
+func TestFig3ShapeQuick(t *testing.T) {
+	// Even a quick run must show the headline result: globalsweep takes
+	// more rounds than feedback at the largest common size.
+	res, err := Run("fig3", Config{Seed: 3, Trials: 3, MaxN: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, ok1 := findSeries(res, "globalsweep")
+	fb, ok2 := findSeries(res, "feedback")
+	if !ok1 || !ok2 {
+		t.Fatal("missing series")
+	}
+	lastSweep := sweep.Points[len(sweep.Points)-1]
+	lastFb := fb.Points[len(fb.Points)-1]
+	if lastSweep.Mean <= lastFb.Mean {
+		t.Fatalf("globalsweep %.1f rounds <= feedback %.1f rounds — paper's ordering violated",
+			lastSweep.Mean, lastFb.Mean)
+	}
+}
+
+func TestFig5ShapeQuick(t *testing.T) {
+	res, err := Run("fig5", Config{Seed: 4, Trials: 5, MaxN: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, ok := findSeries(res, "feedback")
+	if !ok {
+		t.Fatal("missing feedback series")
+	}
+	for _, p := range fb.Points {
+		if p.Mean > 2.0 {
+			t.Fatalf("feedback beeps/node %.2f at n=%v — paper says ≈1.1", p.Mean, p.X)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run("fig5", Config{Seed: 11, Trials: 2, MaxN: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig5", Config{Seed: 11, Trials: 2, MaxN: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Fatal("same seed produced different experiment results")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{}
+	if c.trials(7) != 7 {
+		t.Fatal("default trials")
+	}
+	c.Trials = 3
+	if c.trials(7) != 3 {
+		t.Fatal("override trials")
+	}
+	c.MaxN = 50
+	got := c.sizes([]int{10, 50, 100})
+	if len(got) != 2 || got[1] != 50 {
+		t.Fatalf("sizes = %v", got)
+	}
+	// MaxN below every size keeps the smallest so sweeps stay non-empty.
+	c.MaxN = 5
+	got = c.sizes([]int{10, 50})
+	if len(got) != 1 || got[0] != 10 {
+		t.Fatalf("sizes = %v", got)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "t", XLabel: "n", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Mean: 2.5, Std: 0.5, Trials: 3}}},
+			{Name: "ref", Reference: true, Points: []Point{{X: 1, Mean: 9}}},
+		},
+		Notes: []string{"hello"},
+	}
+	table := r.Table()
+	for _, want := range []string{"2.50 ± 0.50", "9.00", "note: hello", "n", "a", "ref"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestCSVEscapesCommas(t *testing.T) {
+	r := &Result{
+		ID: "x",
+		Series: []Series{
+			{Name: "a,b", Points: []Point{{X: 1, Mean: 2}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Split(buf.String(), "\n")[1], "a,b") {
+		t.Fatalf("comma in series name not escaped: %s", buf.String())
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" {
+		t.Fatal(trimFloat(5))
+	}
+	if trimFloat(0.25) != "0.25" {
+		t.Fatal(trimFloat(0.25))
+	}
+}

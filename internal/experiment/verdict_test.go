@@ -1,0 +1,21 @@
+package experiment
+
+import "testing"
+
+func TestVerdictPassesQuick(t *testing.T) {
+	checks, err := Verdict(Config{Seed: 3, Trials: 4, MaxN: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 5 {
+		t.Fatalf("got %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("claim failed: %s (%s)", c.Name, c.Detail)
+		}
+		if c.Detail == "" {
+			t.Errorf("claim %s has no detail", c.Name)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"fmt"
+
+	"beepmis/internal/rng"
+)
+
+// Hypercube returns the d-dimensional hypercube graph Q_d on 2^d
+// vertices; vertices are adjacent iff their indices differ in one bit.
+func Hypercube(d int) (*Graph, error) {
+	if d < 0 || d > 30 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d outside [0,30]", d)
+	}
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << bit)
+			if v < w {
+				_ = b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// CompleteBinaryTree returns the complete binary tree on n vertices
+// (vertex 0 is the root; children of v are 2v+1 and 2v+2).
+func CompleteBinaryTree(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if c := 2*v + 1; c < n {
+			_ = b.AddEdge(v, c)
+		}
+		if c := 2*v + 2; c < n {
+			_ = b.AddEdge(v, c)
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular graph on n vertices via the
+// configuration model with restarts: d·n must be even and d < n. The
+// pairing is retried until it is simple, which for d ≪ n succeeds in
+// O(1) expected attempts; an attempt bound guards pathological inputs.
+func RandomRegular(n, d int, src *rng.Source) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: random regular needs 0 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: random regular needs even d·n, got d=%d n=%d", d, n)
+	}
+	if d == 0 {
+		return Empty(n), nil
+	}
+	const maxAttempts = 1000
+	stubs := make([]int32, 0, n*d)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, int32(v))
+			}
+		}
+		src.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		seen := make(map[[2]int32]bool, len(stubs)/2)
+		b := NewBuilder(n)
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			key := [2]int32{u, v}
+			if u > v {
+				key = [2]int32{v, u}
+			}
+			if seen[key] {
+				ok = false
+				break
+			}
+			seen[key] = true
+			_ = b.AddEdge(int(u), int(v))
+		}
+		if ok {
+			return b.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("graph: random regular pairing failed after %d attempts (d=%d too close to n=%d?)", maxAttempts, d, n)
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length
+// spineLen with legs pendant legs attached round-robin to spine
+// vertices. Caterpillars are a worst case for greedy MIS size variance.
+func Caterpillar(spineLen, legs int) *Graph {
+	if spineLen < 1 {
+		spineLen = 1
+	}
+	b := NewBuilder(spineLen + legs)
+	for v := 0; v+1 < spineLen; v++ {
+		_ = b.AddEdge(v, v+1)
+	}
+	for i := 0; i < legs; i++ {
+		_ = b.AddEdge(i%spineLen, spineLen+i)
+	}
+	return b.Build()
+}

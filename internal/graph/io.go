@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a simple text format:
+//
+//	# optional comment lines
+//	n <vertices>
+//	<u> <v>          (one edge per line, u < v)
+//
+// The format round-trips through ReadEdgeList, including isolated
+// vertices (carried by the n header).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return fmt.Errorf("write edge: %w", err)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MaxEdgeListVertices caps the vertex count ReadEdgeList accepts. The
+// header is attacker-controlled in any setting where graphs arrive over
+// the network, and the count drives an O(n) allocation (~24 bytes per
+// vertex of empty adjacency headers) before a single edge is read.
+// 2^22 vertices (~100 MiB) is far beyond what the simulator can process
+// in reasonable time anyway; construct larger graphs programmatically.
+const MaxEdgeListVertices = 1 << 22
+
+// ReadEdgeList parses the format emitted by WriteEdgeList. Lines starting
+// with '#' and blank lines are ignored. Errors carry the offending line
+// number. Headers declaring more than MaxEdgeListVertices vertices are
+// rejected.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if b == nil {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("line %d: expected header \"n <count>\", got %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			if n > MaxEdgeListVertices {
+				return nil, fmt.Errorf("line %d: vertex count %d exceeds limit %d", lineNo, n, MaxEdgeListVertices)
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: expected \"u v\", got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad vertex %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad vertex %q", lineNo, fields[1])
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan edge list: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("edge list: missing \"n <count>\" header")
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by VerifyMIS, exported so tests and callers can match
+// the specific violation.
+var (
+	// ErrNotIndependent indicates two adjacent vertices are in the set.
+	ErrNotIndependent = errors.New("graph: set is not independent")
+	// ErrNotMaximal indicates some vertex could still join the set.
+	ErrNotMaximal = errors.New("graph: independent set is not maximal")
+)
+
+// IsIndependent reports whether no two vertices of set are adjacent.
+// set[v] must be indexable for all v in [0, g.N()).
+func IsIndependent(g *Graph, set []bool) bool {
+	return firstDependentEdge(g, set) == [2]int{-1, -1}
+}
+
+func firstDependentEdge(g *Graph, set []bool) [2]int {
+	for v := 0; v < g.N(); v++ {
+		if !set[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v && set[w] {
+				return [2]int{v, int(w)}
+			}
+		}
+	}
+	return [2]int{-1, -1}
+}
+
+// VerifyMIS checks that set is a maximal independent set of g: no two
+// members adjacent, and every non-member has a member neighbour. It
+// returns nil on success, or an error wrapping ErrNotIndependent /
+// ErrNotMaximal naming a witness vertex or edge.
+func VerifyMIS(g *Graph, set []bool) error {
+	if len(set) != g.N() {
+		return fmt.Errorf("graph: set length %d does not match n=%d", len(set), g.N())
+	}
+	if e := firstDependentEdge(g, set); e != [2]int{-1, -1} {
+		return fmt.Errorf("%w: edge {%d,%d} inside set", ErrNotIndependent, e[0], e[1])
+	}
+	for v := 0; v < g.N(); v++ {
+		if set[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range g.Neighbors(v) {
+			if set[w] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("%w: vertex %d has no neighbour in the set", ErrNotMaximal, v)
+		}
+	}
+	return nil
+}
+
+// SetToList converts a membership vector to a sorted vertex list.
+func SetToList(set []bool) []int {
+	var out []int
+	for v, in := range set {
+		if in {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ListToSet converts a vertex list to a membership vector of length n.
+// Out-of-range vertices yield an error.
+func ListToSet(n int, list []int) ([]bool, error) {
+	set := make([]bool, n)
+	for _, v := range list {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: vertex %d with n=%d", ErrVertexRange, v, n)
+		}
+		set[v] = true
+	}
+	return set, nil
+}

@@ -1,0 +1,136 @@
+// Package mis implements the paper's maximal-independent-set algorithms:
+// the feedback algorithm of Scott, Jeavons & Xu (the core contribution,
+// §4 Definition 1 / Table 1), the globally-swept schedule of Afek et al.
+// DISC'11 (§1), the original Afek et al. Science'11 schedule that assumes
+// knowledge of n and the maximum degree, a fixed-probability strawman
+// (the simplest member of the Theorem 1 lower-bound class), Luby's
+// algorithm as the classical O(log n) baseline, and a centralised greedy
+// reference.
+package mis
+
+import (
+	"fmt"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/rng"
+)
+
+// FeedbackConfig parameterises the paper's feedback algorithm. The paper
+// proves O(log n) expected time for halving/doubling (Factor = 2) with
+// InitialP = MaxP = 1/2, and its conclusion notes the analysis tolerates a
+// wide range of factors and initial values — which the ablation
+// experiments sweep.
+type FeedbackConfig struct {
+	// InitialP is the starting beep probability. Default 1/2.
+	InitialP float64
+	// Factor is the multiplicative feedback step: hearing a beep divides
+	// p by Factor, silence multiplies it by Factor (capped at MaxP).
+	// Default 2 (the paper's halve/double rule). Must be > 1.
+	Factor float64
+	// MaxP caps the beep probability. Default 1/2, per Definition 1
+	// (n(t,v) >= 1 ⇔ p <= 1/2).
+	MaxP float64
+	// MinP floors the beep probability; 0 means no floor (the paper has
+	// none — p may shrink indefinitely while a node keeps hearing
+	// beeps). Exposed for the probability-floor ablation.
+	MinP float64
+}
+
+func (c FeedbackConfig) withDefaults() FeedbackConfig {
+	if c.InitialP == 0 {
+		c.InitialP = 0.5
+	}
+	if c.Factor == 0 {
+		c.Factor = 2
+	}
+	if c.MaxP == 0 {
+		c.MaxP = 0.5
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c FeedbackConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Factor <= 1 {
+		return fmt.Errorf("mis: feedback factor must be > 1, got %v", c.Factor)
+	}
+	if c.InitialP <= 0 || c.InitialP > 1 {
+		return fmt.Errorf("mis: feedback initial probability %v outside (0,1]", c.InitialP)
+	}
+	if c.MaxP <= 0 || c.MaxP > 1 {
+		return fmt.Errorf("mis: feedback max probability %v outside (0,1]", c.MaxP)
+	}
+	if c.MinP < 0 || c.MinP > c.MaxP {
+		return fmt.Errorf("mis: feedback min probability %v outside [0, MaxP]", c.MinP)
+	}
+	return nil
+}
+
+// feedbackNode is the per-node automaton of Table 1: beep with local
+// probability p; halve p when a neighbour beeps, double it (up to MaxP)
+// otherwise. With the default Factor = 2 every value of p is a power of
+// two, which float64 represents exactly, so the executions match
+// Definition 1's integer-exponent formulation bit-for-bit.
+type feedbackNode struct {
+	p   float64
+	cfg FeedbackConfig
+}
+
+var _ beep.Automaton = (*feedbackNode)(nil)
+var _ beep.ProbabilityReporter = (*feedbackNode)(nil)
+
+func (f *feedbackNode) Beep(r *rng.Source) bool { return r.Bernoulli(f.p) }
+
+func (f *feedbackNode) Observe(o beep.Outcome) {
+	if o.Heard {
+		f.p /= f.cfg.Factor
+		if f.cfg.MinP > 0 && f.p < f.cfg.MinP {
+			f.p = f.cfg.MinP
+		}
+		return
+	}
+	f.p *= f.cfg.Factor
+	if f.p > f.cfg.MaxP {
+		f.p = f.cfg.MaxP
+	}
+}
+
+func (f *feedbackNode) BeepProbability() float64 { return f.p }
+
+// NewFeedback returns a factory for the paper's feedback algorithm.
+// NewFeedback(FeedbackConfig{}) gives exactly the published algorithm.
+func NewFeedback(cfg FeedbackConfig) (beep.Factory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	start := cfg.InitialP
+	if start > cfg.MaxP {
+		start = cfg.MaxP
+	}
+	return func(beep.NodeInfo) beep.Automaton {
+		return &feedbackNode{p: start, cfg: cfg}
+	}, nil
+}
+
+// NewFeedbackHeterogeneous returns a feedback factory whose initial
+// probability varies per node, supplied by initial(id). Used by the
+// ablate-init experiment exercising the paper's robustness claim that
+// initial values "may vary from node to node".
+func NewFeedbackHeterogeneous(cfg FeedbackConfig, initial func(id int) float64) (beep.Factory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return func(info beep.NodeInfo) beep.Automaton {
+		p := initial(info.ID)
+		if p <= 0 {
+			p = cfg.InitialP
+		}
+		if p > cfg.MaxP {
+			p = cfg.MaxP
+		}
+		return &feedbackNode{p: p, cfg: cfg}
+	}, nil
+}

@@ -1,0 +1,228 @@
+package mis
+
+import (
+	"fmt"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+// LubyVariant selects which formulation of Luby's algorithm to run.
+type LubyVariant int
+
+const (
+	// LubyPermutation is the random-priority variant: each round every
+	// active node draws a random 64-bit value and joins if it is a
+	// strict local minimum among active neighbours.
+	LubyPermutation LubyVariant = iota + 1
+	// LubyProbability is Luby's original marking variant: each active
+	// node marks itself with probability 1/(2d), conflicts between
+	// adjacent marked nodes are resolved in favour of the higher degree
+	// (ties by id), and surviving marked nodes join.
+	LubyProbability
+)
+
+// String implements fmt.Stringer.
+func (v LubyVariant) String() string {
+	switch v {
+	case LubyPermutation:
+		return "luby-permutation"
+	case LubyProbability:
+		return "luby-probability"
+	default:
+		return fmt.Sprintf("luby-variant(%d)", int(v))
+	}
+}
+
+// LubyResult reports a Luby execution. Unlike the beeping algorithms,
+// Luby's algorithm exchanges multi-bit numeric messages; Messages and
+// Bits make that cost visible next to the beeping algorithms' one-bit
+// channel use (cf. §5 of the paper).
+type LubyResult struct {
+	// InMIS is the computed maximal independent set.
+	InMIS []bool
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// Messages counts directed node-to-neighbour messages sent.
+	Messages int
+	// Bits counts total message payload bits (64 per value message, 1
+	// per mark/join notification).
+	Bits int
+}
+
+// Luby computes an MIS with the selected variant of Luby's algorithm.
+// It is the classical O(log n) distributed baseline the paper compares
+// against. The execution is deterministic given src.
+func Luby(g *graph.Graph, variant LubyVariant, src *rng.Source) (*LubyResult, error) {
+	switch variant {
+	case LubyPermutation:
+		return lubyPermutation(g, src), nil
+	case LubyProbability:
+		return lubyProbability(g, src), nil
+	default:
+		return nil, fmt.Errorf("mis: unknown Luby variant %d", int(variant))
+	}
+}
+
+func lubyPermutation(g *graph.Graph, src *rng.Source) *LubyResult {
+	n := g.N()
+	res := &LubyResult{InMIS: make([]bool, n)}
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	remaining := n
+	vals := make([]uint64, n)
+	for remaining > 0 {
+		res.Rounds++
+		// Each active node draws a priority and sends it to all active
+		// neighbours.
+		for v := 0; v < n; v++ {
+			if active[v] {
+				vals[v] = src.Uint64()
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if active[w] {
+					res.Messages++
+					res.Bits += 64
+				}
+			}
+		}
+		// Local minima join; they and their neighbours retire.
+		joined := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			isMin := true
+			for _, w := range g.Neighbors(v) {
+				if !active[w] {
+					continue
+				}
+				// Strict comparison with id tie-break keeps the rule a
+				// total order even on (vanishingly unlikely) collisions.
+				if vals[w] < vals[v] || (vals[w] == vals[v] && int(w) < v) {
+					isMin = false
+					break
+				}
+			}
+			if isMin {
+				joined[v] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !joined[v] {
+				continue
+			}
+			res.InMIS[v] = true
+			if active[v] {
+				active[v] = false
+				remaining--
+			}
+			for _, w := range g.Neighbors(v) {
+				res.Messages++ // join announcement
+				res.Bits++
+				if active[w] {
+					active[w] = false
+					remaining--
+				}
+			}
+		}
+	}
+	return res
+}
+
+func lubyProbability(g *graph.Graph, src *rng.Source) *LubyResult {
+	n := g.N()
+	res := &LubyResult{InMIS: make([]bool, n)}
+	active := make([]bool, n)
+	deg := make([]int, n) // degree within the residual (active) graph
+	for v := 0; v < n; v++ {
+		active[v] = true
+		deg[v] = g.Degree(v)
+	}
+	remaining := n
+	marked := make([]bool, n)
+	for remaining > 0 {
+		res.Rounds++
+		for v := 0; v < n; v++ {
+			if !active[v] {
+				marked[v] = false
+				continue
+			}
+			if deg[v] == 0 {
+				marked[v] = true // isolated in residual graph: join outright
+				continue
+			}
+			marked[v] = src.Bernoulli(1 / (2 * float64(deg[v])))
+		}
+		// Marked nodes tell neighbours their mark and degree.
+		for v := 0; v < n; v++ {
+			if !active[v] || !marked[v] {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if active[w] {
+					res.Messages++
+					res.Bits += 64
+				}
+			}
+		}
+		// Conflict resolution: between adjacent marked nodes, the one of
+		// lower degree (ties: lower id) unmarks.
+		joined := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !active[v] || !marked[v] {
+				continue
+			}
+			win := true
+			for _, w := range g.Neighbors(v) {
+				if !active[w] || !marked[w] {
+					continue
+				}
+				if deg[w] > deg[v] || (deg[w] == deg[v] && int(w) > v) {
+					win = false
+					break
+				}
+			}
+			if win {
+				joined[v] = true
+			}
+		}
+		// Retire joiners and their neighbours; update residual degrees.
+		retired := make([]int32, 0, 16)
+		for v := 0; v < n; v++ {
+			if !joined[v] {
+				continue
+			}
+			res.InMIS[v] = true
+			if active[v] {
+				active[v] = false
+				remaining--
+				retired = append(retired, int32(v))
+			}
+			for _, w := range g.Neighbors(v) {
+				res.Messages++
+				res.Bits++
+				if active[w] {
+					active[w] = false
+					remaining--
+					retired = append(retired, w)
+				}
+			}
+		}
+		for _, v := range retired {
+			for _, w := range g.Neighbors(int(v)) {
+				if active[w] {
+					deg[w]--
+				}
+			}
+		}
+	}
+	return res
+}

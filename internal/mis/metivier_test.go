@@ -1,0 +1,143 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+func TestMetivierProducesMIS(t *testing.T) {
+	src := rng.New(1)
+	graphs := map[string]*graph.Graph{
+		"gnp-dense":  graph.GNP(80, 0.5, src),
+		"gnp-sparse": graph.GNP(200, 0.02, src),
+		"complete":   graph.Complete(40),
+		"grid":       graph.Grid(8, 9),
+		"star":       graph.Star(30),
+		"cliques":    graph.CliqueFamily(500),
+		"empty":      graph.Empty(25),
+		"zero":       graph.Empty(0),
+	}
+	for name, g := range graphs {
+		res := Metivier(g, rng.New(7))
+		if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMetivierCompleteGraphSingleton(t *testing.T) {
+	res := Metivier(graph.Complete(25), rng.New(2))
+	if got := len(graph.SetToList(res.InMIS)); got != 1 {
+		t.Fatalf("MIS of K_25 has %d vertices", got)
+	}
+	// A complete graph resolves in one phase: the unique global maximum
+	// beats everyone.
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+}
+
+func TestMetivierBitAccounting(t *testing.T) {
+	g := graph.GNP(60, 0.3, rng.New(3))
+	res := Metivier(g, rng.New(4))
+	if res.Bits <= 0 || res.Messages <= 0 {
+		t.Fatalf("bits=%d messages=%d", res.Bits, res.Messages)
+	}
+	// Expected bits per duel is small (geometric with mean 2 per side);
+	// allow a generous constant bound to catch regressions to whole-word
+	// counting.
+	duels := 0
+	// Upper bound on duels: active edges summed over rounds <= m * rounds.
+	duels = g.M() * res.Rounds
+	if res.Bits > duels*32 {
+		t.Fatalf("bits = %d for at most %d duels — lazy bit exchange broken?", res.Bits, duels)
+	}
+}
+
+func TestMetivierBitsPerChannelLogarithmic(t *testing.T) {
+	// §5 comparison: Métivier uses O(log n) bits per channel in
+	// expectation; sanity-check the constant stays small.
+	for _, n := range []int{50, 200} {
+		g := graph.GNP(n, 0.5, rng.New(5))
+		res := Metivier(g, rng.New(6))
+		perChannel := float64(res.Bits) / float64(2*g.M())
+		if perChannel > 16 {
+			t.Fatalf("n=%d: %.1f bits per channel — far above O(log n) expectations", n, perChannel)
+		}
+	}
+}
+
+func TestMetivierDeterminism(t *testing.T) {
+	g := graph.GNP(50, 0.4, rng.New(7))
+	a := Metivier(g, rng.New(9))
+	b := Metivier(g, rng.New(9))
+	if a.Rounds != b.Rounds || a.Bits != b.Bits {
+		t.Fatal("same seed diverged")
+	}
+	for v := range a.InMIS {
+		if a.InMIS[v] != b.InMIS[v] {
+			t.Fatal("same seed gave different sets")
+		}
+	}
+}
+
+func TestMetivierProperty(t *testing.T) {
+	src := rng.New(8)
+	f := func(nSeed, pSeed, seed uint8) bool {
+		n := int(nSeed%50) + 1
+		p := float64(pSeed%10) / 10
+		g := graph.GNP(n, p, src)
+		res := Metivier(g, rng.New(uint64(seed)+50))
+		return graph.VerifyMIS(g, res.InMIS) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuelConsumesMinimalBits(t *testing.T) {
+	// Two strings differing in the first (most significant) bit must
+	// duel in exactly 1 bit position.
+	words := map[int][]uint64{
+		0: {0x8000000000000000},
+		1: {0x0000000000000000},
+	}
+	word := func(v, i int) uint64 { return words[v][i] }
+	uWins, used := duel(0, 1, word)
+	if !uWins || used != 1 {
+		t.Fatalf("duel = %v, %d bits; want win with 1 bit", uWins, used)
+	}
+	// Differing at the last bit of the first word: 64 positions.
+	words[0] = []uint64{1}
+	words[1] = []uint64{0}
+	uWins, used = duel(0, 1, word)
+	if !uWins || used != 64 {
+		t.Fatalf("duel = %v, %d bits; want win with 64 bits", uWins, used)
+	}
+	// Identical first word, differing in second: 64 + k.
+	words[0] = []uint64{7, 0x8000000000000000}
+	words[1] = []uint64{7, 0}
+	uWins, used = duel(0, 1, word)
+	if !uWins || used != 65 {
+		t.Fatalf("duel = %v, %d bits; want win with 65 bits", uWins, used)
+	}
+}
+
+func TestDuelTieFallback(t *testing.T) {
+	// Five identical words trigger the id fallback.
+	word := func(v, i int) uint64 { return 42 }
+	uWins, used := duel(0, 1, word)
+	if !uWins {
+		t.Fatal("tie fallback should favour the smaller id")
+	}
+	if used != 5*64 {
+		t.Fatalf("tie fallback consumed %d bits", used)
+	}
+	wWins, _ := duel(1, 0, word)
+	if wWins {
+		t.Fatal("tie fallback inverted")
+	}
+}

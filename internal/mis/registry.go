@@ -1,0 +1,57 @@
+package mis
+
+import (
+	"fmt"
+	"sort"
+
+	"beepmis/internal/beep"
+)
+
+// Algorithm names accepted by NewFactory and the CLIs.
+const (
+	NameFeedback    = "feedback"
+	NameGlobalSweep = "globalsweep"
+	NameAfek        = "afek"
+	NameFixed       = "fixed"
+)
+
+// Spec selects and configures a beeping algorithm by name; the zero
+// values of the embedded configs mean "paper defaults".
+type Spec struct {
+	// Name is one of NameFeedback, NameGlobalSweep, NameAfek, NameFixed.
+	Name string
+	// Feedback configures the feedback algorithm (Name == NameFeedback).
+	Feedback FeedbackConfig
+	// Afek configures the Science'11 schedule (Name == NameAfek).
+	Afek AfekOriginalConfig
+	// FixedP is the constant probability for Name == NameFixed; zero
+	// defaults to 1/2.
+	FixedP float64
+}
+
+// NewFactory builds the automaton factory for spec.
+func NewFactory(spec Spec) (beep.Factory, error) {
+	switch spec.Name {
+	case NameFeedback:
+		return NewFeedback(spec.Feedback)
+	case NameGlobalSweep:
+		return NewGlobalSweep(), nil
+	case NameAfek:
+		return NewAfekOriginal(spec.Afek), nil
+	case NameFixed:
+		p := spec.FixedP
+		if p == 0 {
+			p = 0.5
+		}
+		return NewFixedProb(p)
+	default:
+		return nil, fmt.Errorf("mis: unknown algorithm %q (have %v)", spec.Name, Names())
+	}
+}
+
+// Names returns the registered beeping-algorithm names, sorted.
+func Names() []string {
+	names := []string{NameFeedback, NameGlobalSweep, NameAfek, NameFixed}
+	sort.Strings(names)
+	return names
+}

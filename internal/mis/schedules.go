@@ -1,0 +1,127 @@
+package mis
+
+import (
+	"fmt"
+	"math"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/rng"
+)
+
+// sweepNode implements the refined Afek et al. DISC'11 schedule described
+// in §1 of the paper: the computation is divided into phases 1, 2, 3, …;
+// phase k has k+1 steps during which p takes the values
+// 1, 1/2, 1/4, …, 2^-k. All nodes advance through the same global
+// schedule in lockstep, ignoring feedback — which is exactly the class of
+// algorithms Theorem 1 proves needs Ω(log² n) steps.
+type sweepNode struct {
+	phase int // current phase k >= 1
+	step  int // step within phase, 0..phase
+}
+
+var _ beep.Automaton = (*sweepNode)(nil)
+var _ beep.ProbabilityReporter = (*sweepNode)(nil)
+
+func (s *sweepNode) BeepProbability() float64 {
+	return math.Ldexp(1, -s.step) // 2^-step
+}
+
+func (s *sweepNode) Beep(r *rng.Source) bool {
+	p := s.BeepProbability()
+	s.step++
+	if s.step > s.phase {
+		s.phase++
+		s.step = 0
+	}
+	return r.Bernoulli(p)
+}
+
+func (s *sweepNode) Observe(beep.Outcome) {} // global schedule: feedback unused
+
+// NewGlobalSweep returns a factory for the DISC'11 sweeping schedule.
+func NewGlobalSweep() beep.Factory {
+	return func(beep.NodeInfo) beep.Automaton {
+		return &sweepNode{phase: 1, step: 0}
+	}
+}
+
+// AfekOriginalConfig parameterises the Science'11 schedule, which —
+// unlike the DISC'11 refinement — assumes every node knows the network
+// size n and (an upper bound on) the maximum degree D.
+type AfekOriginalConfig struct {
+	// StepsPerLevel is the number of time steps spent at each
+	// probability level before doubling; the paper's analysis takes it
+	// Θ(log n). If zero it defaults to ceil(log2 n) computed per network.
+	StepsPerLevel int
+}
+
+// afekNode starts at p = 1/(D+1) and doubles p every StepsPerLevel steps
+// up to 1/2, then stays there. This reproduces the Science'11 scheme of
+// "gradually increasing" globally-computed probabilities.
+type afekNode struct {
+	p       float64
+	level   int
+	perLvl  int
+	counter int
+}
+
+var _ beep.Automaton = (*afekNode)(nil)
+var _ beep.ProbabilityReporter = (*afekNode)(nil)
+
+func (a *afekNode) BeepProbability() float64 { return a.p }
+
+func (a *afekNode) Beep(r *rng.Source) bool {
+	p := a.p
+	a.counter++
+	if a.counter >= a.perLvl && a.p < 0.5 {
+		a.counter = 0
+		a.p *= 2
+		if a.p > 0.5 {
+			a.p = 0.5
+		}
+	}
+	return r.Bernoulli(p)
+}
+
+func (a *afekNode) Observe(beep.Outcome) {} // global schedule: feedback unused
+
+// NewAfekOriginal returns a factory for the Science'11 schedule.
+func NewAfekOriginal(cfg AfekOriginalConfig) beep.Factory {
+	return func(info beep.NodeInfo) beep.Automaton {
+		perLvl := cfg.StepsPerLevel
+		if perLvl <= 0 {
+			perLvl = int(math.Ceil(math.Log2(float64(info.N + 1))))
+			if perLvl < 1 {
+				perLvl = 1
+			}
+		}
+		d := info.MaxDegree
+		if d < 1 {
+			d = 1
+		}
+		return &afekNode{p: 1 / float64(d+1), perLvl: perLvl}
+	}
+}
+
+// fixedNode beeps with a constant probability forever: the simplest
+// member of the globally-preset class, useful as a floor in the Theorem 1
+// experiment.
+type fixedNode struct{ p float64 }
+
+var _ beep.Automaton = (*fixedNode)(nil)
+var _ beep.ProbabilityReporter = (*fixedNode)(nil)
+
+func (f *fixedNode) Beep(r *rng.Source) bool  { return r.Bernoulli(f.p) }
+func (f *fixedNode) Observe(beep.Outcome)     {}
+func (f *fixedNode) BeepProbability() float64 { return f.p }
+
+// NewFixedProb returns a factory whose nodes beep with constant
+// probability p.
+func NewFixedProb(p float64) (beep.Factory, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("mis: fixed probability %v outside (0,1]", p)
+	}
+	return func(beep.NodeInfo) beep.Automaton {
+		return &fixedNode{p: p}
+	}, nil
+}

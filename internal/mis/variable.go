@@ -1,0 +1,114 @@
+package mis
+
+import (
+	"fmt"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/rng"
+)
+
+// VariableConfig parameterises the fully-general feedback variant the
+// paper's conclusion sketches: "the probabilities at each node do not
+// need to increase and decrease by a precise factor — the analysis we
+// have given here can be adapted to a wide range of different values for
+// these factors, which may vary between nodes and over time".
+type VariableConfig struct {
+	// Base is the reference configuration (defaults as in
+	// FeedbackConfig).
+	Base FeedbackConfig
+	// FactorLo and FactorHi bound the per-step update factor: each time
+	// a node adjusts its probability it draws a fresh factor uniformly
+	// from [FactorLo, FactorHi]. Both must be > 1; zero values default
+	// to the base factor (no jitter).
+	FactorLo, FactorHi float64
+	// PerNode, if non-nil, overrides the initial probability per node
+	// (values outside (0, MaxP] fall back to the base initial).
+	PerNode func(id int) float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c VariableConfig) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.FactorLo == 0 && c.FactorHi == 0 {
+		return nil
+	}
+	if c.FactorLo <= 1 || c.FactorHi < c.FactorLo {
+		return fmt.Errorf("mis: variable factor range [%v, %v] invalid (need 1 < lo <= hi)", c.FactorLo, c.FactorHi)
+	}
+	return nil
+}
+
+// variableNode is feedbackNode with a per-step random factor: the same
+// halve/double structure, but the multiplicative step is drawn fresh
+// from [lo, hi] at every adjustment, making the schedule heterogeneous
+// across both nodes and time.
+type variableNode struct {
+	p      float64
+	cfg    FeedbackConfig
+	lo, hi float64
+	// factorSrc supplies the per-step factors. It is the node's own
+	// stream, shared with the beep draws — the factor draw happens
+	// inside Observe, which the engines call in the same positions, so
+	// engine equivalence is preserved.
+	factorSrc *rng.Source
+}
+
+var _ beep.Automaton = (*variableNode)(nil)
+var _ beep.ProbabilityReporter = (*variableNode)(nil)
+
+func (v *variableNode) Beep(r *rng.Source) bool {
+	// Capture the node's stream on first use so Observe can draw
+	// factors from the same deterministic sequence.
+	v.factorSrc = r
+	return r.Bernoulli(v.p)
+}
+
+func (v *variableNode) Observe(o beep.Outcome) {
+	factor := v.cfg.Factor
+	switch {
+	case v.factorSrc == nil:
+		// Observe before any Beep cannot happen under either engine's
+		// contract; fall back to the base factor defensively.
+	case v.hi > v.lo:
+		factor = v.lo + (v.hi-v.lo)*v.factorSrc.Float64()
+	case v.lo > 1:
+		factor = v.lo
+	}
+	if o.Heard {
+		v.p /= factor
+		if v.cfg.MinP > 0 && v.p < v.cfg.MinP {
+			v.p = v.cfg.MinP
+		}
+		return
+	}
+	v.p *= factor
+	if v.p > v.cfg.MaxP {
+		v.p = v.cfg.MaxP
+	}
+}
+
+func (v *variableNode) BeepProbability() float64 { return v.p }
+
+// NewFeedbackVariable returns a factory for the generalised feedback
+// algorithm with per-node initial probabilities and per-step random
+// factors.
+func NewFeedbackVariable(cfg VariableConfig) (beep.Factory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	base := cfg.Base.withDefaults()
+	return func(info beep.NodeInfo) beep.Automaton {
+		p := base.InitialP
+		if cfg.PerNode != nil {
+			if custom := cfg.PerNode(info.ID); custom > 0 && custom <= base.MaxP {
+				p = custom
+			}
+		}
+		if p > base.MaxP {
+			p = base.MaxP
+		}
+		return &variableNode{p: p, cfg: base, lo: cfg.FactorLo, hi: cfg.FactorHi}
+	}, nil
+}

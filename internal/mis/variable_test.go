@@ -1,0 +1,110 @@
+package mis
+
+import (
+	"testing"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/rng"
+)
+
+func TestVariableConfigValidate(t *testing.T) {
+	good := []VariableConfig{
+		{},
+		{FactorLo: 1.5, FactorHi: 3},
+		{FactorLo: 2, FactorHi: 2},
+		{PerNode: func(int) float64 { return 0.25 }},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good case %d rejected: %v", i, err)
+		}
+	}
+	bad := []VariableConfig{
+		{FactorLo: 1, FactorHi: 2},
+		{FactorLo: 3, FactorHi: 2},
+		{FactorLo: 0.5, FactorHi: 0.9},
+		{Base: FeedbackConfig{Factor: 0.5}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestVariablePerNodeInitial(t *testing.T) {
+	f, err := NewFeedbackVariable(VariableConfig{
+		PerNode: func(id int) float64 {
+			if id == 0 {
+				return 0.25
+			}
+			return 9 // invalid → fallback to base
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := f(beep.NodeInfo{ID: 0})
+	a1 := f(beep.NodeInfo{ID: 1})
+	if p := probOf(t, a0); p != 0.25 {
+		t.Fatalf("node 0 p = %v", p)
+	}
+	if p := probOf(t, a1); p != 0.5 {
+		t.Fatalf("node 1 p = %v (fallback)", p)
+	}
+}
+
+func TestVariableJitteredFactorStaysInRange(t *testing.T) {
+	f, err := NewFeedbackVariable(VariableConfig{FactorLo: 1.5, FactorHi: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f(beep.NodeInfo{})
+	src := rng.New(3)
+	p := probOf(t, a)
+	for i := 0; i < 200; i++ {
+		a.Beep(src)
+		prev := p
+		a.Observe(beep.Outcome{Heard: true})
+		p = probOf(t, a)
+		ratio := prev / p
+		if ratio < 1.5-1e-9 || ratio > 4+1e-9 {
+			t.Fatalf("step %d: factor %v outside [1.5, 4]", i, ratio)
+		}
+	}
+	// Recovery is capped at MaxP.
+	for i := 0; i < 300; i++ {
+		a.Beep(src)
+		a.Observe(beep.Outcome{})
+	}
+	if p := probOf(t, a); p != 0.5 {
+		t.Fatalf("p = %v, want capped at 0.5", p)
+	}
+}
+
+func TestVariableFixedLoEqualsHi(t *testing.T) {
+	f, err := NewFeedbackVariable(VariableConfig{FactorLo: 3, FactorHi: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f(beep.NodeInfo{})
+	src := rng.New(4)
+	a.Beep(src)
+	a.Observe(beep.Outcome{Heard: true})
+	if p := probOf(t, a); p != 0.5/3 {
+		t.Fatalf("p = %v, want 1/6", p)
+	}
+}
+
+func TestVariableObserveBeforeBeepSafe(t *testing.T) {
+	f, err := NewFeedbackVariable(VariableConfig{FactorLo: 2, FactorHi: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f(beep.NodeInfo{})
+	// Defensive path: must not panic and must use the base factor.
+	a.Observe(beep.Outcome{Heard: true})
+	if p := probOf(t, a); p != 0.25 {
+		t.Fatalf("p = %v, want 0.25 via base factor", p)
+	}
+}

@@ -1,0 +1,149 @@
+package notch
+
+import (
+	"testing"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+func TestTwoCellMutualExclusion(t *testing.T) {
+	// The fundamental lateral-inhibition result (paper Figure 4): two
+	// coupled cells settle into mutually exclusive signalling states.
+	g := graph.Path(2)
+	st, err := Simulate(g, Params{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HighDelta[0] == st.HighDelta[1] {
+		t.Fatalf("two-cell system did not polarise: delta = %v", st.Delta)
+	}
+	hi, lo := 0, 1
+	if st.Delta[1] > st.Delta[0] {
+		hi, lo = 1, 0
+	}
+	if st.Delta[hi] < 0.9 || st.Delta[lo] > 0.1 {
+		t.Fatalf("polarisation weak: delta = %v", st.Delta)
+	}
+	// The sender has low Notch, the receiver high Notch.
+	if st.Notch[hi] > 0.1 || st.Notch[lo] < 0.9 {
+		t.Fatalf("notch not anti-correlated with delta: notch = %v", st.Notch)
+	}
+}
+
+func TestTwoCellDeterminism(t *testing.T) {
+	g := graph.Path(2)
+	a, err := Simulate(g, Params{}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(g, Params{}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Delta {
+		if a.Delta[i] != b.Delta[i] || a.Notch[i] != b.Notch[i] {
+			t.Fatal("same seed produced different trajectories")
+		}
+	}
+}
+
+func TestGridPatternIsIndependent(t *testing.T) {
+	// On a cell sheet the senders must form an independent set — no two
+	// adjacent SOPs, the pattern of the paper's Figure 1B.
+	g := graph.Grid(12, 12)
+	st, err := Simulate(g, Params{}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := len(st.Senders())
+	if senders == 0 {
+		t.Fatal("no sender cells emerged")
+	}
+	violations, gaps := PatternQuality(g, st.HighDelta)
+	if violations != 0 {
+		t.Fatalf("%d adjacent sender pairs — lateral inhibition failed", violations)
+	}
+	// The continuous dynamics can leave a few unresolved receivers (the
+	// imperfection the discrete algorithm eliminates); they must remain
+	// a small minority.
+	if gaps > g.N()/5 {
+		t.Fatalf("%d/%d cells undominated — pattern did not form", gaps, g.N())
+	}
+}
+
+func TestIsolatedCellBecomesSender(t *testing.T) {
+	// With no neighbours there is no inhibition: Notch decays, Delta
+	// rises.
+	st, err := Simulate(graph.Empty(1), Params{}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HighDelta[0] {
+		t.Fatalf("isolated cell delta = %v, want high", st.Delta[0])
+	}
+}
+
+func TestLevelsStayInUnitRange(t *testing.T) {
+	g := graph.Grid(6, 6)
+	st, err := Simulate(g, Params{}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Delta {
+		if st.Delta[i] < -1e-9 || st.Delta[i] > 1+1e-9 || st.Notch[i] < -1e-9 || st.Notch[i] > 1+1e-9 {
+			t.Fatalf("cell %d levels out of range: n=%v d=%v", i, st.Notch[i], st.Delta[i])
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Dt: -0.1},
+		{Dt: 1.0},
+		{Steps: -5},
+		{A: -1},
+		{B: -1},
+		{Nu: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: %+v accepted", i, p)
+		}
+		if _, err := Simulate(graph.Empty(1), p, rng.New(1)); err == nil {
+			t.Errorf("case %d: Simulate accepted %+v", i, p)
+		}
+	}
+	if err := (Params{}).Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+}
+
+func TestPatternQuality(t *testing.T) {
+	g := graph.Path(4)
+	// Senders at 0 and 1: one violation; vertex 3 undominated (2 is
+	// dominated by 1).
+	v, gaps := PatternQuality(g, []bool{true, true, false, false})
+	if v != 1 || gaps != 1 {
+		t.Fatalf("violations=%d gaps=%d, want 1,1", v, gaps)
+	}
+	// Proper MIS pattern: no violations, no gaps.
+	v, gaps = PatternQuality(g, []bool{true, false, true, false})
+	if v != 0 || gaps != 0 {
+		t.Fatalf("violations=%d gaps=%d, want 0,0", v, gaps)
+	}
+}
+
+func TestWeakInhibitionNoPattern(t *testing.T) {
+	// With b → 0 there is effectively no Delta inhibition, so every
+	// cell's Delta follows g(notch) ≈ 1: all senders, no pattern. This
+	// checks the mechanism really is the inhibition term.
+	g := graph.Path(2)
+	st, err := Simulate(g, Params{B: 1e-6}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HighDelta[0] || !st.HighDelta[1] {
+		t.Fatalf("without inhibition both cells should stay high-Delta: %v", st.Delta)
+	}
+}

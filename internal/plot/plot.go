@@ -1,0 +1,135 @@
+// Package plot renders simple ASCII scatter/line charts in a terminal,
+// used by the experiment CLI to display Figure 3 / Figure 5 style series
+// without any graphics dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted data set.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// Xs and Ys are the coordinates; lengths must match.
+	Xs, Ys []float64
+	// Marker is the glyph for this series; 0 picks a default.
+	Marker rune
+}
+
+// defaultMarkers are assigned to series without an explicit marker.
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Options controls rendering.
+type Options struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Width and Height are the plotting area in characters; zero values
+	// default to 64×20.
+	Width, Height int
+}
+
+// Render draws the series onto an ASCII canvas. Series with mismatched
+// coordinate lengths or no data yield an error.
+func Render(series []Series, opts Options) (string, error) {
+	width := opts.Width
+	if width <= 0 {
+		width = 64
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 20
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		if len(s.Xs) != len(s.Ys) {
+			return "", fmt.Errorf("plot: series %q has %d x but %d y values", s.Name, len(s.Xs), len(s.Ys))
+		}
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if first {
+		return "", fmt.Errorf("plot: all series empty")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	canvas := make([][]rune, height)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.Xs {
+			col := int(math.Round((s.Xs[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Ys[i]-ymin)/(ymax-ymin)*float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				canvas[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opts.YLabel)
+	}
+	yTopLabel := fmt.Sprintf("%8.4g", ymax)
+	yBotLabel := fmt.Sprintf("%8.4g", ymin)
+	for r, row := range canvas {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%s |%s\n", yTopLabel, string(row))
+		case height - 1:
+			fmt.Fprintf(&b, "%s |%s\n", yBotLabel, string(row))
+		default:
+			fmt.Fprintf(&b, "%8s |%s\n", "", string(row))
+		}
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-10.4g%s%10.4g\n", "", xmin,
+		strings.Repeat(" ", maxInt(0, width-20)), xmax)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  %s\n", "", opts.XLabel)
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", marker, s.Name)
+	}
+	return b.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out, err := Render([]Series{
+		{Name: "up", Xs: []float64{1, 2, 3}, Ys: []float64{1, 2, 3}},
+		{Name: "down", Xs: []float64{1, 2, 3}, Ys: []float64{3, 2, 1}},
+	}, Options{Title: "test chart", XLabel: "x", YLabel: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"test chart", "up", "down", "*", "o", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCustomMarker(t *testing.T) {
+	out, err := Render([]Series{
+		{Name: "s", Xs: []float64{0, 1}, Ys: []float64{0, 1}, Marker: '%'},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "%") {
+		t.Fatalf("custom marker missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(nil, Options{}); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if _, err := Render([]Series{{Name: "bad", Xs: []float64{1}, Ys: nil}}, Options{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := Render([]Series{{Name: "empty"}}, Options{}); err == nil {
+		t.Fatal("all-empty series accepted")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out, err := Render([]Series{
+		{Name: "dot", Xs: []float64{5}, Ys: []float64{5}},
+	}, Options{Width: 20, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate y-range must not divide by zero.
+	out, err := Render([]Series{
+		{Name: "flat", Xs: []float64{1, 2, 3}, Ys: []float64{7, 7, 7}},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	out, err := Render([]Series{
+		{Name: "s", Xs: []float64{0, 10}, Ys: []float64{0, 10}},
+	}, Options{Width: 30, Height: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 8 canvas rows + axis + x labels + legend.
+	if len(lines) < 11 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,312 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with same seed diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	a := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = a.Uint64()
+	}
+	a.Reseed(7)
+	for i := range first {
+		if got := a.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed draw %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestStreamStableAndIndependent(t *testing.T) {
+	master := New(99)
+	s1 := master.Stream(5)
+	s2 := master.Stream(5)
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatal("same stream id must yield identical streams")
+		}
+	}
+	// Stream derivation must not depend on how much the master advanced.
+	master2 := New(99)
+	master2.Uint64()
+	master2.Uint64()
+	s3 := master2.Stream(5)
+	s4 := New(99).Stream(5)
+	for i := 0; i < 100; i++ {
+		if s3.Uint64() != s4.Uint64() {
+			t.Fatal("stream derivation must be independent of master draw position")
+		}
+	}
+	// Distinct ids should not collide.
+	sa, sb := New(99).Stream(1), New(99).Stream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if sa.Uint64() == sb.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 1 and 2 matched on %d/100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of %d uniforms = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(4)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("Intn(7): value %d occurred %d/70000 times, far from uniform", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliEdge(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(6)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(0.25) empirical rate %v", rate)
+	}
+}
+
+func TestBernoulliExp2(t *testing.T) {
+	s := New(8)
+	// k=1 should fire about half the time.
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.BernoulliExp2(1) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.5) > 0.01 {
+		t.Fatalf("BernoulliExp2(1) rate = %v, want ~0.5", rate)
+	}
+	// k=3 -> 1/8.
+	hits = 0
+	for i := 0; i < n; i++ {
+		if s.BernoulliExp2(3) {
+			hits++
+		}
+	}
+	rate = float64(hits) / n
+	if math.Abs(rate-0.125) > 0.01 {
+		t.Fatalf("BernoulliExp2(3) rate = %v, want ~0.125", rate)
+	}
+	// k=0 is probability 1.
+	if !s.BernoulliExp2(0) {
+		t.Fatal("BernoulliExp2(0) must always be true")
+	}
+}
+
+func TestBernoulliExp2LargeK(t *testing.T) {
+	s := New(9)
+	// 2^-100 should essentially never fire; mostly this exercises the
+	// multi-word path for k > 64.
+	for i := 0; i < 1000; i++ {
+		if s.BernoulliExp2(100) {
+			t.Fatal("BernoulliExp2(100) fired, astronomically unlikely — bug")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(10)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(12)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool, len(xs))
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Fatalf("ExpFloat64 mean %v, want ~1", mean)
+	}
+}
+
+func TestLogAgreesWithMath(t *testing.T) {
+	for _, x := range []float64{1e-9, 0.001, 0.5, 0.9999, 1, 1.0001, 2, math.E, 10, 12345.678, 1e12} {
+		got := log(x)
+		want := math.Log(x)
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("log(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestLogPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("log(0) did not panic")
+		}
+	}()
+	log(0)
+}
+
+// Property: Intn(n) is always within range for any positive n.
+func TestIntnPropertyRange(t *testing.T) {
+	s := New(14)
+	f := func(n uint16, _ uint8) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Stream is a pure function of (state-at-seed, id).
+func TestStreamPropertyPure(t *testing.T) {
+	f := func(seed, id uint64) bool {
+		a := New(seed).Stream(id)
+		b := New(seed).Stream(id)
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkBernoulliExp2(b *testing.B) {
+	s := New(1)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = s.BernoulliExp2(3)
+	}
+	_ = sink
+}

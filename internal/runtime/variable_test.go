@@ -1,0 +1,54 @@
+package runtime
+
+import (
+	"testing"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/sim"
+)
+
+// TestEngineEquivalenceVariableFactors covers the subtle part of the
+// jittered feedback variant: it draws its per-step factors from the
+// node's randomness stream inside Observe, which is only sound if both
+// engines call Beep/Observe in exactly the same per-node order. A
+// divergence here would silently skew the ablate-jitter experiment.
+func TestEngineEquivalenceVariableFactors(t *testing.T) {
+	factory, err := mis.NewFeedbackVariable(mis.VariableConfig{
+		FactorLo: 1.3,
+		FactorHi: 4,
+		PerNode:  func(id int) float64 { return 1 / float64(2+id%4) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*graph.Graph{
+		graph.GNP(70, 0.4, rng.New(1)),
+		graph.CliqueFamily(300),
+		graph.Grid(6, 8),
+	} {
+		for seed := uint64(40); seed < 43; seed++ {
+			simRes, err := sim.Run(g, factory, rng.New(seed), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtRes, err := Run(g, factory, rng.New(seed), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if simRes.Rounds != rtRes.Rounds || simRes.TotalBeeps != rtRes.TotalBeeps {
+				t.Fatalf("seed %d: engines diverged under jittered factors (rounds %d/%d, beeps %d/%d)",
+					seed, simRes.Rounds, rtRes.Rounds, simRes.TotalBeeps, rtRes.TotalBeeps)
+			}
+			for v := range simRes.InMIS {
+				if simRes.InMIS[v] != rtRes.InMIS[v] {
+					t.Fatalf("seed %d: node %d membership differs", seed, v)
+				}
+			}
+			if err := graph.VerifyMIS(g, simRes.InMIS); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+)
+
+// TestRunRoundInvariants checks, at every round of an execution, the
+// safety invariants the paper's correctness argument rests on:
+//
+//  1. the partial MIS is independent at all times,
+//  2. every dominated node has an MIS neighbour (domination is earned),
+//  3. only active nodes beep.
+func TestRunRoundInvariants(t *testing.T) {
+	src := rng.New(1)
+	graphs := map[string]*graph.Graph{
+		"gnp":     graph.GNP(80, 0.4, src),
+		"cliques": graph.CliqueFamily(300),
+		"grid":    graph.Grid(7, 9),
+	}
+	for _, algoName := range []string{mis.NameFeedback, mis.NameGlobalSweep} {
+		factory, err := mis.NewFactory(mis.Spec{Name: algoName})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gname, g := range graphs {
+			prevStates := make([]beep.State, g.N())
+			for i := range prevStates {
+				prevStates[i] = beep.StateActive
+			}
+			check := func(s Snapshot) {
+				inMIS := make([]bool, g.N())
+				for v, st := range s.States {
+					if st == beep.StateInMIS {
+						inMIS[v] = true
+					}
+				}
+				if !graph.IsIndependent(g, inMIS) {
+					t.Fatalf("%s/%s round %d: partial MIS not independent", algoName, gname, s.Round)
+				}
+				for v, st := range s.States {
+					if st != beep.StateDominated {
+						continue
+					}
+					hasMISNeighbor := false
+					for _, w := range g.Neighbors(v) {
+						if inMIS[w] {
+							hasMISNeighbor = true
+							break
+						}
+					}
+					if !hasMISNeighbor {
+						t.Fatalf("%s/%s round %d: node %d dominated without an MIS neighbour", algoName, gname, s.Round, v)
+					}
+					// Terminal states never revert.
+					if prevStates[v] == beep.StateInMIS {
+						t.Fatalf("%s/%s round %d: node %d left the MIS", algoName, gname, s.Round, v)
+					}
+				}
+				for v, b := range s.Beeped {
+					if b && prevStates[v] != beep.StateActive {
+						t.Fatalf("%s/%s round %d: inactive node %d beeped", algoName, gname, s.Round, v)
+					}
+				}
+				copy(prevStates, s.States)
+			}
+			if _, err := Run(g, factory, rng.New(7), Options{OnRound: check}); err != nil {
+				t.Fatalf("%s/%s: %v", algoName, gname, err)
+			}
+		}
+	}
+}
+
+// TestFeedbackRoundBoundRegression guards the O(log n) behaviour: mean
+// rounds on G(n,1/2) stay below a generous 5·log₂n across sizes. A
+// regression to log²n behaviour (e.g. a broken feedback rule) trips this
+// immediately (log²(1024) = 100 ≫ 5·10 = 50).
+func TestFeedbackRoundBoundRegression(t *testing.T) {
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{128, 512, 1024} {
+		const trials = 10
+		total := 0
+		for trial := 0; trial < trials; trial++ {
+			g := graph.GNP(n, 0.5, rng.New(uint64(n+trial)))
+			res, err := Run(g, factory, rng.New(uint64(trial)), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Rounds
+		}
+		mean := float64(total) / trials
+		bound := 5 * math.Log2(float64(n))
+		if mean > bound {
+			t.Fatalf("n=%d: mean rounds %.1f exceeds 5·log2(n) = %.1f — O(log n) regression", n, mean, bound)
+		}
+	}
+}
+
+// TestFeedbackBeepBoundRegression guards Theorem 6: mean beeps per node
+// stay below 2 (measured ≈1.1; the theorem's constant is far larger, so
+// 2 is a tight practical regression bound).
+func TestFeedbackBeepBoundRegression(t *testing.T) {
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, build := range []func() *graph.Graph{
+		func() *graph.Graph { return graph.GNP(200, 0.5, rng.New(3)) },
+		func() *graph.Graph { return graph.Grid(14, 14) },
+		func() *graph.Graph { return graph.CliqueFamily(500) },
+	} {
+		g := build()
+		const trials = 10
+		total := 0.0
+		for trial := 0; trial < trials; trial++ {
+			res, err := Run(g, factory, rng.New(uint64(trial)+100), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.MeanBeepsPerNode()
+		}
+		if mean := total / trials; mean > 2 {
+			t.Fatalf("%v: mean beeps/node %.2f > 2 — Theorem 6 regression", g, mean)
+		}
+	}
+}
+
+// TestGlobalSweepSlowerThanFeedback pins the paper's headline ordering
+// as a regression test at one size.
+func TestGlobalSweepSlowerThanFeedback(t *testing.T) {
+	const n, trials = 400, 10
+	fb, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := mis.NewFactory(mis.Spec{Name: mis.NameGlobalSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbTotal, swTotal := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		g := graph.GNP(n, 0.5, rng.New(uint64(trial)))
+		a, err := Run(g, fb, rng.New(uint64(trial)+500), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(g, sweep, rng.New(uint64(trial)+500), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbTotal += a.Rounds
+		swTotal += b.Rounds
+	}
+	if swTotal <= fbTotal*2 {
+		t.Fatalf("globalsweep %d rounds vs feedback %d — expected a >2× gap at n=%d", swTotal, fbTotal, n)
+	}
+}

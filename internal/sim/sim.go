@@ -1,0 +1,276 @@
+// Package sim executes beeping-model algorithms on a graph in a fast,
+// deterministic, synchronous simulator. It implements exactly the
+// two-exchange time step of the paper (Table 1): first exchange — nodes
+// beep with their current probability and everyone learns whether a
+// neighbour beeped; second exchange — a node that beeped into silence
+// joins the MIS and announces it, and the announcement deactivates its
+// neighbours.
+//
+// The simulator additionally supports fault injection (independent beep
+// loss on the first exchange, node crashes at chosen rounds) and a
+// per-round trace hook, used by the robustness experiments and the
+// visualising examples.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+// DefaultMaxRounds bounds a run when Options.MaxRounds is zero. It is far
+// above the O(log n) expectation for any graph this simulator can hold in
+// memory, so hitting it indicates a genuinely non-terminating schedule
+// (e.g. a badly tuned fixed-probability strawman).
+const DefaultMaxRounds = 1 << 20
+
+// faultStreamID is the rng stream used for fault injection. Node streams
+// use ids [0, n); this id is far outside any representable node index, so
+// enabling faults never perturbs node randomness.
+const faultStreamID = uint64(1) << 40
+
+// ErrTooManyRounds is wrapped in the error returned by Run when the round
+// limit is reached before every node terminates.
+var ErrTooManyRounds = errors.New("sim: round limit reached before termination")
+
+// Snapshot is the per-round view passed to the trace hook. The slices are
+// owned by the simulator and reused between rounds; a hook that wants to
+// retain them must copy.
+type Snapshot struct {
+	// Round is the 1-based index of the time step that just completed.
+	Round int
+	// States holds each node's state after the step.
+	States []beep.State
+	// Beeped reports which nodes beeped in the step's first exchange.
+	Beeped []bool
+	// Probabilities holds each node's beep probability going into the
+	// *next* step, when the automaton reports it (NaN otherwise, and 0
+	// for terminal nodes). Only populated when a hook is installed.
+	Probabilities []float64
+	// Active is the number of nodes still active after the step.
+	Active int
+}
+
+// Options configures a simulation run. The zero value runs the pure
+// paper model: no faults, no trace, DefaultMaxRounds.
+type Options struct {
+	// MaxRounds caps the number of time steps; 0 means DefaultMaxRounds.
+	MaxRounds int
+	// BeepLoss is the probability that a given neighbour fails to hear a
+	// given beep in the first exchange (each beeper→listener pair drawn
+	// independently). Join announcements (second exchange) are assumed
+	// reliable, so domination stays safe; what loss can break is
+	// *independence*, which the ablate-loss experiment quantifies.
+	BeepLoss float64
+	// CrashAtRound lists nodes to crash at the start of the given
+	// (1-based) round. Crashed nodes stop participating entirely.
+	CrashAtRound map[int][]int
+	// WakeAt, if non-nil, gives the (1-based) round at which each node
+	// wakes up; before that the node is dormant — it neither beeps nor
+	// listens. Entries <= 1 wake immediately. Enabling wake-up also
+	// makes MIS members beep persistently (the standard fix from Afek
+	// et al. DISC'11): a late waker adjacent to an established MIS
+	// member must hear it, or it could beep into perceived silence and
+	// violate independence.
+	WakeAt []int
+	// OnRound, if non-nil, is called after every time step.
+	OnRound func(Snapshot)
+}
+
+// Result reports a completed (or round-capped) simulation.
+type Result struct {
+	// InMIS is the membership vector of the computed independent set.
+	InMIS []bool
+	// States holds each node's final state.
+	States []beep.State
+	// Rounds is the number of time steps executed.
+	Rounds int
+	// Beeps counts first-exchange beeps per node — the quantity of
+	// Figure 5 and Theorem 6.
+	Beeps []int
+	// TotalBeeps is the sum of Beeps.
+	TotalBeeps int
+	// JoinAnnouncements counts second-exchange announcements (equal to
+	// the number of MIS members that joined while having neighbours).
+	JoinAnnouncements int
+	// PersistentBeeps counts the extra keep-alive beeps MIS members
+	// emit when wake-up scheduling is enabled. Kept separate from Beeps
+	// so the Theorem 6 accounting stays comparable to the paper.
+	PersistentBeeps int
+	// Terminated reports whether every node reached a terminal state
+	// within the round limit.
+	Terminated bool
+}
+
+// MeanBeepsPerNode returns TotalBeeps averaged over all nodes.
+func (r *Result) MeanBeepsPerNode() float64 {
+	if len(r.Beeps) == 0 {
+		return 0
+	}
+	return float64(r.TotalBeeps) / float64(len(r.Beeps))
+}
+
+// Run simulates factory's algorithm on g, drawing node randomness from
+// per-node streams of master so the execution is a pure function of
+// (g, factory, master seed, opts). It returns an error wrapping
+// ErrTooManyRounds if the round cap is hit; the partial Result is still
+// returned alongside it for inspection.
+func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options) (*Result, error) {
+	if opts.BeepLoss < 0 || opts.BeepLoss >= 1 {
+		return nil, fmt.Errorf("sim: beep loss %v outside [0,1)", opts.BeepLoss)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := g.N()
+	if opts.WakeAt != nil && len(opts.WakeAt) != n {
+		return nil, fmt.Errorf("sim: WakeAt has %d entries for %d nodes", len(opts.WakeAt), n)
+	}
+	wake := opts.WakeAt
+	maxDeg := g.MaxDegree()
+
+	autos := make([]beep.Automaton, n)
+	streams := make([]*rng.Source, n)
+	for v := 0; v < n; v++ {
+		autos[v] = factory(beep.NodeInfo{ID: v, N: n, Degree: g.Degree(v), MaxDegree: maxDeg})
+		streams[v] = master.Stream(uint64(v))
+	}
+	var faultSrc *rng.Source
+	if opts.BeepLoss > 0 {
+		faultSrc = master.Stream(faultStreamID)
+	}
+
+	res := &Result{
+		InMIS:  make([]bool, n),
+		States: make([]beep.State, n),
+		Beeps:  make([]int, n),
+	}
+	for v := range res.States {
+		res.States[v] = beep.StateActive
+	}
+	active := n
+
+	beeped := make([]bool, n)
+	heard := make([]bool, n)
+	joined := make([]bool, n)
+	neighborJoined := make([]bool, n)
+	var persist []bool
+	if wake != nil {
+		persist = make([]bool, n)
+	}
+	awake := func(v, round int) bool { return wake == nil || round >= wake[v] }
+	var probs []float64 // lazily allocated snapshot buffer
+
+	for round := 1; active > 0 && round <= maxRounds; round++ {
+		res.Rounds = round
+		// Fault injection: crashes take effect before the exchange.
+		for _, v := range opts.CrashAtRound[round] {
+			if v >= 0 && v < n && res.States[v] == beep.StateActive {
+				res.States[v] = beep.StateCrashed
+				active--
+			}
+		}
+		// First exchange: draw beeps (dormant nodes neither beep nor
+		// later observe).
+		for v := 0; v < n; v++ {
+			beeped[v] = awake(v, round) && res.States[v] == beep.StateActive && autos[v].Beep(streams[v])
+			heard[v] = false
+			joined[v] = false
+			neighborJoined[v] = false
+			if beeped[v] {
+				res.Beeps[v]++
+				res.TotalBeeps++
+			}
+		}
+		// With wake-up scheduling, established MIS members keep beeping
+		// so late wakers can never perceive silence next to them.
+		if persist != nil {
+			for v := 0; v < n; v++ {
+				persist[v] = res.States[v] == beep.StateInMIS
+				if persist[v] {
+					res.PersistentBeeps++
+				}
+			}
+		}
+		// Propagate beeps to neighbours (with optional loss per listener).
+		for v := 0; v < n; v++ {
+			if !beeped[v] && (persist == nil || !persist[v]) {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if faultSrc != nil && faultSrc.Bernoulli(opts.BeepLoss) {
+					continue
+				}
+				heard[w] = true
+			}
+		}
+		// Join rule: beeped into (perceived) silence.
+		for v := 0; v < n; v++ {
+			if beeped[v] && !heard[v] {
+				joined[v] = true
+			}
+		}
+		// Second exchange: join announcements (reliable). Persistent MIS
+		// members re-announce so nodes waking later still get dominated.
+		for v := 0; v < n; v++ {
+			if !joined[v] && (persist == nil || !persist[v]) {
+				continue
+			}
+			if joined[v] && g.Degree(v) > 0 {
+				res.JoinAnnouncements++
+			}
+			for _, w := range g.Neighbors(v) {
+				neighborJoined[w] = true
+			}
+		}
+		// State transitions and feedback.
+		for v := 0; v < n; v++ {
+			if res.States[v] != beep.StateActive || !awake(v, round) {
+				continue
+			}
+			switch {
+			case joined[v]:
+				res.States[v] = beep.StateInMIS
+				res.InMIS[v] = true
+				active--
+			case neighborJoined[v]:
+				res.States[v] = beep.StateDominated
+				active--
+			default:
+				autos[v].Observe(beep.Outcome{
+					Beeped:         beeped[v],
+					Heard:          heard[v],
+					NeighborJoined: neighborJoined[v],
+				})
+			}
+		}
+		if opts.OnRound != nil {
+			if probs == nil {
+				probs = make([]float64, n)
+			}
+			for v := 0; v < n; v++ {
+				switch {
+				case res.States[v] != beep.StateActive:
+					probs[v] = 0
+				default:
+					if pr, ok := autos[v].(beep.ProbabilityReporter); ok {
+						probs[v] = pr.BeepProbability()
+					} else {
+						probs[v] = math.NaN()
+					}
+				}
+			}
+			opts.OnRound(Snapshot{Round: round, States: res.States, Beeped: beeped, Probabilities: probs, Active: active})
+		}
+	}
+	res.Terminated = active == 0
+	if !res.Terminated {
+		return res, fmt.Errorf("%w: %d nodes still active after %d rounds", ErrTooManyRounds, active, maxRounds)
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+func TestWakeAtLengthValidation(t *testing.T) {
+	_, err := Run(graph.Empty(3), feedbackFactory(t), rng.New(1), Options{WakeAt: []int{1}})
+	if err == nil {
+		t.Fatal("short WakeAt accepted")
+	}
+}
+
+func TestWakeupAllImmediateMatchesShape(t *testing.T) {
+	// Waking everyone at round 1 must still produce a valid MIS (the
+	// persistent-announce machinery must not break the base algorithm).
+	g := graph.GNP(100, 0.5, rng.New(2))
+	wake := make([]int, g.N())
+	for v := range wake {
+		wake[v] = 1
+	}
+	res, err := Run(g, feedbackFactory(t), rng.New(3), Options{WakeAt: wake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeupStaggeredStillValidMIS(t *testing.T) {
+	src := rng.New(4)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GNP(80, 0.3, src)
+		wake := make([]int, g.N())
+		wsrc := src.Stream(uint64(trial))
+		for v := range wake {
+			wake[v] = 1 + wsrc.Intn(40)
+		}
+		res, err := Run(g, feedbackFactory(t), rng.New(uint64(trial)+10), Options{WakeAt: wake})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestWakeupLateNodeNextToEstablishedMIS(t *testing.T) {
+	// Adversarial scenario: a star where the hub sleeps long enough for
+	// every leaf to join the MIS, then wakes surrounded by it. Without
+	// persistent announcements the hub would beep into silence and join,
+	// violating independence.
+	g := graph.Star(10)
+	wake := make([]int, g.N())
+	wake[0] = 200 // hub wakes very late
+	for v := 1; v < g.N(); v++ {
+		wake[v] = 1
+	}
+	res, err := Run(g, feedbackFactory(t), rng.New(5), Options{WakeAt: wake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+		t.Fatal(err)
+	}
+	if res.InMIS[0] {
+		t.Fatal("late hub joined the MIS next to established members")
+	}
+	if res.States[0] != beep.StateDominated {
+		t.Fatalf("hub state %v, want dominated", res.States[0])
+	}
+	if res.PersistentBeeps == 0 {
+		t.Fatal("persistent announcements were never emitted")
+	}
+	if res.Rounds < 200 {
+		t.Fatalf("run finished at round %d, before the hub woke", res.Rounds)
+	}
+}
+
+func TestWakeupPairedLateWakers(t *testing.T) {
+	// Two adjacent late wakers must still resolve between themselves.
+	g := graph.Path(2)
+	res, err := Run(g, feedbackFactory(t), rng.New(6), Options{WakeAt: []int{50, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 50 {
+		t.Fatalf("terminated at %d before wake time", res.Rounds)
+	}
+}
+
+func TestWakeupDormantNodesDoNotBeep(t *testing.T) {
+	g := graph.Path(3)
+	wake := []int{1, 1, 30}
+	res, err := Run(g, feedbackFactory(t), rng.New(7), Options{WakeAt: wake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2's beeps can only have occurred from round 30 on; with the
+	// default p = 1/2 it terminates within a handful of rounds of
+	// waking, so its count stays small while nodes 0/1 resolved long
+	// before. The key assertion: the run lasted past the wake time.
+	if res.Rounds < 30 {
+		t.Fatalf("rounds = %d, dormant node ignored", res.Rounds)
+	}
+	if err := graph.VerifyMIS(g, res.InMIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeupBeyondMaxRounds(t *testing.T) {
+	g := graph.Empty(1)
+	_, err := Run(g, feedbackFactory(t), rng.New(8), Options{WakeAt: []int{500}, MaxRounds: 100})
+	if err == nil {
+		t.Fatal("node waking after the round cap must surface as an error")
+	}
+}

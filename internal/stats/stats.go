@@ -1,0 +1,207 @@
+// Package stats provides the descriptive statistics and curve fitting
+// used by the experiment harness: means and standard deviations for the
+// error bars of Figures 3 and 5, and least-squares fits of a·log₂n + b
+// and a·log₂²n + b to compare measured growth against the paper's
+// reference curves.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty indicates a statistic was requested over no samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0
+// when fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// MinMax returns the extremes of xs; it errors on an empty slice.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs with linear
+// interpolation between order statistics. It errors on empty input or
+// out-of-range q.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Summary bundles the descriptive statistics of one sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean is the sample mean.
+	Mean float64
+	// Std is the sample standard deviation.
+	Std float64
+	// Min and Max are the extremes.
+	Min, Max float64
+	// Median is the 0.5 quantile.
+	Median float64
+}
+
+// Summarize computes a Summary; it errors on an empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	min, max, _ := MinMax(xs)
+	med, _ := Median(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    min,
+		Max:    max,
+		Median: med,
+	}, nil
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f med=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Fit is a least-squares fit y ≈ A·f(x) + B.
+type Fit struct {
+	// A and B are the fitted coefficients.
+	A, B float64
+	// R2 is the coefficient of determination in [0, 1] (can be negative
+	// for fits worse than a constant).
+	R2 float64
+}
+
+// String renders the fit.
+func (f Fit) String() string {
+	return fmt.Sprintf("a=%.3f b=%.3f R²=%.4f", f.A, f.B, f.R2)
+}
+
+// FitTransformed computes the least-squares fit of y ≈ A·f(x) + B for the
+// given basis function f. At least two points with distinct f(x) values
+// are required.
+func FitTransformed(xs, ys []float64, f func(float64) float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: fit with %d x values but %d y values", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("stats: fit needs at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var su, sy, suu, suy float64
+	for i := range xs {
+		u := f(xs[i])
+		su += u
+		sy += ys[i]
+		suu += u * u
+		suy += u * ys[i]
+	}
+	den := n*suu - su*su
+	if den == 0 {
+		return Fit{}, errors.New("stats: degenerate fit (all transformed x equal)")
+	}
+	a := (n*suy - su*sy) / den
+	b := (sy - a*su) / n
+	// R² against the mean model.
+	ymean := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := a*f(xs[i]) + b
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - ymean) * (ys[i] - ymean)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{A: a, B: b, R2: r2}, nil
+}
+
+// FitLogN fits y ≈ A·log₂(x) + B — the paper's expected growth for the
+// feedback algorithm (Corollary 5; empirically A ≈ 2.5).
+func FitLogN(xs, ys []float64) (Fit, error) {
+	return FitTransformed(xs, ys, math.Log2)
+}
+
+// FitLog2N fits y ≈ A·log₂²(x) + B — the growth of the globally-swept
+// schedule (Theorem 1; empirically A ≈ 1).
+func FitLog2N(xs, ys []float64) (Fit, error) {
+	return FitTransformed(xs, ys, func(x float64) float64 {
+		l := math.Log2(x)
+		return l * l
+	})
+}
+
+// FitLinear fits y ≈ A·x + B.
+func FitLinear(xs, ys []float64) (Fit, error) {
+	return FitTransformed(xs, ys, func(x float64) float64 { return x })
+}

@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"beepmis/internal/rng"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Mean([]float64{-5}); got != -5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	if Variance([]float64{7}) != 0 {
+		t.Fatal("variance of singleton should be 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 = 32/7.
+	if got := Variance(xs); !almost(got, 32.0/7, 1e-12) {
+		t.Fatalf("variance = %v", got)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	if StdErr(nil) != 0 {
+		t.Fatal("stderr of empty should be 0")
+	}
+	xs := []float64{1, 3}
+	if got := StdErr(xs); !almost(got, math.Sqrt(2)/math.Sqrt(2), 1e-12) {
+		t.Fatalf("stderr = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty MinMax must error")
+	}
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Fatalf("min=%v max=%v err=%v", min, max, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	for _, c := range []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty quantile must error")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 4 {
+		t.Fatal("Quantile sorted caller's slice")
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	got, err := Median([]float64{5, 1, 9})
+	if err != nil || got != 5 {
+		t.Fatalf("median = %v err=%v", got, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty summary must error")
+	}
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("summary should stringify")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.A, 2, 1e-12) || !almost(fit.B, 3, 1e-12) || !almost(fit.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+func TestFitLogNExact(t *testing.T) {
+	xs := []float64{2, 4, 8, 16, 1024}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*math.Log2(x) + 1 // the paper's feedback curve shape
+	}
+	fit, err := FitLogN(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.A, 2.5, 1e-9) || !almost(fit.B, 1, 1e-9) {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+func TestFitLog2NExact(t *testing.T) {
+	xs := []float64{2, 4, 8, 16, 256}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		l := math.Log2(x)
+		ys[i] = 1.0*l*l - 2
+	}
+	fit, err := FitLog2N(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.A, 1, 1e-9) || !almost(fit.B, -2, 1e-9) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.String() == "" {
+		t.Fatal("fit should stringify")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitLinear([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestFitNoisyRecovery(t *testing.T) {
+	// Fit through noisy data and check coefficient recovery.
+	src := rng.New(5)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		x := float64(100 + i*10)
+		xs[i] = x
+		noise := (src.Float64() - 0.5) * 2
+		ys[i] = 3*math.Log2(x) - 4 + noise
+	}
+	fit, err := FitLogN(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.A, 3, 0.2) {
+		t.Fatalf("fit.A = %v, want ~3", fit.A)
+	}
+	if fit.R2 < 0.8 {
+		t.Fatalf("R² = %v too low for mild noise", fit.R2)
+	}
+}
+
+func TestFitConstantDataPerfectR2(t *testing.T) {
+	fit, err := FitLinear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ssTot == 0: R² defined as 1 (perfect fit by the constant model).
+	if fit.R2 != 1 || !almost(fit.A, 0, 1e-12) || !almost(fit.B, 5, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+// Property: mean lies within [min, max]; variance is non-negative.
+func TestSummaryProperties(t *testing.T) {
+	src := rng.New(6)
+	f := func(sizeSeed uint8) bool {
+		n := int(sizeSeed%50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Float64()*200 - 100
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && Variance(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package trace records beeping-model executions round-by-round and
+// serialises them as JSON Lines, so a run can be archived, diffed,
+// re-rendered (cmd/misviz -replay), or analysed offline without
+// re-simulating. Recordings are small: one line per round with states,
+// beeps and (when available) per-node probabilities.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/sim"
+)
+
+// Event is one recorded time step.
+type Event struct {
+	// Round is the 1-based step index.
+	Round int `json:"round"`
+	// States holds each node's state code after the step (see
+	// beep.State).
+	States []uint8 `json:"states"`
+	// Beeped marks nodes that beeped in the first exchange.
+	Beeped []bool `json:"beeped"`
+	// Probs holds the per-node beep probabilities going into the next
+	// step; omitted when the automaton does not report them. NaNs are
+	// encoded as -1 (JSON has no NaN).
+	Probs []float64 `json:"probs,omitempty"`
+	// Active is the number of still-active nodes after the step.
+	Active int `json:"active"`
+}
+
+// Header describes the recorded run.
+type Header struct {
+	// N is the node count.
+	N int `json:"n"`
+	// Algorithm names the schedule that ran.
+	Algorithm string `json:"algorithm"`
+	// Seed is the master randomness seed.
+	Seed uint64 `json:"seed"`
+	// Meta carries arbitrary caller annotations (e.g. grid dimensions
+	// for re-rendering).
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Recording is a full captured execution.
+type Recording struct {
+	// Header describes the run.
+	Header Header
+	// Events are the per-round records, in order.
+	Events []Event
+}
+
+// Recorder returns a sim.Options.OnRound hook that appends every round
+// to rec. The hook copies all slices: snapshots are reused by the
+// simulator.
+func Recorder(rec *Recording) func(sim.Snapshot) {
+	return func(s sim.Snapshot) {
+		ev := Event{
+			Round:  s.Round,
+			States: make([]uint8, len(s.States)),
+			Beeped: append([]bool(nil), s.Beeped...),
+			Active: s.Active,
+		}
+		for i, st := range s.States {
+			ev.States[i] = uint8(st)
+		}
+		if s.Probabilities != nil {
+			ev.Probs = make([]float64, len(s.Probabilities))
+			for i, p := range s.Probabilities {
+				if math.IsNaN(p) {
+					p = -1
+				}
+				ev.Probs[i] = p
+			}
+		}
+		rec.Events = append(rec.Events, ev)
+	}
+}
+
+// State returns the decoded state of node v at event index i.
+func (r *Recording) State(i, v int) beep.State { return beep.State(r.Events[i].States[v]) }
+
+// Rounds returns the number of recorded rounds.
+func (r *Recording) Rounds() int { return len(r.Events) }
+
+// WriteJSONL writes the recording as one JSON object per line: the
+// header first, then each event.
+func (r *Recording) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(r.Header); err != nil {
+		return fmt.Errorf("encode trace header: %w", err)
+	}
+	for i := range r.Events {
+		if err := enc.Encode(&r.Events[i]); err != nil {
+			return fmt.Errorf("encode trace event %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flush trace: %w", err)
+	}
+	return nil
+}
+
+// ErrEmptyTrace indicates a JSONL stream with no header line.
+var ErrEmptyTrace = errors.New("trace: empty stream")
+
+// ReadJSONL parses a recording written by WriteJSONL, validating that
+// event slice lengths match the header's node count.
+func ReadJSONL(r io.Reader) (*Recording, error) {
+	dec := json.NewDecoder(r)
+	var rec Recording
+	if err := dec.Decode(&rec.Header); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, ErrEmptyTrace
+		}
+		return nil, fmt.Errorf("decode trace header: %w", err)
+	}
+	if rec.Header.N < 0 {
+		return nil, fmt.Errorf("trace: negative node count %d", rec.Header.N)
+	}
+	for i := 0; ; i++ {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("decode trace event %d: %w", i, err)
+		}
+		if len(ev.States) != rec.Header.N || len(ev.Beeped) != rec.Header.N {
+			return nil, fmt.Errorf("trace event %d: slice lengths %d/%d do not match n=%d",
+				i, len(ev.States), len(ev.Beeped), rec.Header.N)
+		}
+		if ev.Probs != nil && len(ev.Probs) != rec.Header.N {
+			return nil, fmt.Errorf("trace event %d: %d probabilities for n=%d", i, len(ev.Probs), rec.Header.N)
+		}
+		rec.Events = append(rec.Events, ev)
+	}
+	return &rec, nil
+}

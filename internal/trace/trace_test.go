@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/sim"
+)
+
+func record(t *testing.T, g *graph.Graph, seed uint64) (*Recording, *sim.Result) {
+	t.Helper()
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recording{Header: Header{N: g.N(), Algorithm: mis.NameFeedback, Seed: seed}}
+	res, err := sim.Run(g, factory, rng.New(seed), sim.Options{OnRound: Recorder(rec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecorderCapturesEveryRound(t *testing.T) {
+	g := graph.GNP(40, 0.4, rng.New(1))
+	rec, res := record(t, g, 5)
+	if rec.Rounds() != res.Rounds {
+		t.Fatalf("recorded %d rounds, run had %d", rec.Rounds(), res.Rounds)
+	}
+	// Final event must show zero active and agree with the result.
+	last := rec.Events[len(rec.Events)-1]
+	if last.Active != 0 {
+		t.Fatalf("final event active = %d", last.Active)
+	}
+	for v := range res.InMIS {
+		got := rec.State(len(rec.Events)-1, v) == beep.StateInMIS
+		if got != res.InMIS[v] {
+			t.Fatalf("node %d: trace says InMIS=%v, result %v", v, got, res.InMIS[v])
+		}
+	}
+	// Beep counts reconstructed from the trace match the result.
+	for v := range res.Beeps {
+		count := 0
+		for _, ev := range rec.Events {
+			if ev.Beeped[v] {
+				count++
+			}
+		}
+		if count != res.Beeps[v] {
+			t.Fatalf("node %d: trace beeps %d, result %d", v, count, res.Beeps[v])
+		}
+	}
+}
+
+func TestRecorderCopiesSnapshots(t *testing.T) {
+	g := graph.Path(6)
+	rec, _ := record(t, g, 2)
+	if rec.Rounds() < 2 {
+		t.Skip("run too short to check aliasing")
+	}
+	// If the recorder aliased the simulator's reused buffers, all events
+	// would share identical state slices.
+	same := true
+	for i := 1; i < len(rec.Events); i++ {
+		for v := range rec.Events[i].States {
+			if rec.Events[i].States[v] != rec.Events[0].States[v] {
+				same = false
+			}
+		}
+	}
+	if same && rec.Rounds() > 1 {
+		t.Fatal("all recorded rounds identical — recorder aliases simulator buffers?")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	g := graph.GNP(25, 0.3, rng.New(3))
+	rec, _ := record(t, g, 7)
+	rec.Header.Meta = map[string]string{"rows": "5", "cols": "5"}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.N != rec.Header.N || back.Header.Algorithm != rec.Header.Algorithm || back.Header.Seed != rec.Header.Seed {
+		t.Fatalf("header mangled: %+v", back.Header)
+	}
+	if back.Header.Meta["rows"] != "5" {
+		t.Fatalf("meta lost: %v", back.Header.Meta)
+	}
+	if back.Rounds() != rec.Rounds() {
+		t.Fatalf("rounds %d vs %d", back.Rounds(), rec.Rounds())
+	}
+	for i := range rec.Events {
+		for v := range rec.Events[i].States {
+			if back.Events[i].States[v] != rec.Events[i].States[v] ||
+				back.Events[i].Beeped[v] != rec.Events[i].Beeped[v] {
+				t.Fatalf("event %d node %d differs after round trip", i, v)
+			}
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("err = %v, want ErrEmptyTrace", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{bad")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	// Mismatched event length.
+	in := `{"n":3,"algorithm":"feedback","seed":1}` + "\n" +
+		`{"round":1,"states":[1],"beeped":[false],"active":3}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("mismatched event accepted")
+	}
+	// Bad probability length.
+	in = `{"n":1,"algorithm":"feedback","seed":1}` + "\n" +
+		`{"round":1,"states":[1],"beeped":[false],"probs":[0.5,0.5],"active":1}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("bad probs accepted")
+	}
+	// Negative n.
+	in = `{"n":-1,"algorithm":"feedback","seed":1}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestProbabilitiesEncodedWithoutNaN(t *testing.T) {
+	g := graph.Path(4)
+	rec, _ := record(t, g, 9)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("JSONL contains NaN — invalid JSON")
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Events[0].Probs == nil {
+		t.Fatal("probabilities dropped")
+	}
+}

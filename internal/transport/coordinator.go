@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/graph"
+)
+
+// DefaultIOTimeout bounds each blocking network operation of the
+// coordinator and node so a dead peer fails the run instead of hanging
+// it.
+const DefaultIOTimeout = 30 * time.Second
+
+// ErrVertexClaimed indicates two connections claimed the same vertex.
+var ErrVertexClaimed = errors.New("transport: vertex already claimed")
+
+// CoordinatorOptions configures Serve.
+type CoordinatorOptions struct {
+	// MaxRounds caps the number of time steps; 0 means no cap beyond
+	// 2^20.
+	MaxRounds int
+	// IOTimeout bounds each network read/write; 0 means
+	// DefaultIOTimeout.
+	IOTimeout time.Duration
+}
+
+// CoordinatorResult is the outcome of a distributed run.
+type CoordinatorResult struct {
+	// InMIS is the computed independent set, indexed by vertex.
+	InMIS []bool
+	// Rounds is the number of time steps executed.
+	Rounds int
+}
+
+// Coordinator accepts one connection per vertex of its graph and drives
+// the synchronous beeping rounds over the network.
+type Coordinator struct {
+	g  *graph.Graph
+	ln net.Listener
+}
+
+// NewCoordinator starts listening on addr (e.g. "127.0.0.1:0") for the
+// vertices of g. Close the coordinator to release the listener.
+func NewCoordinator(g *graph.Graph, addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator listen: %w", err)
+	}
+	return &Coordinator{g: g, ln: ln}, nil
+}
+
+// Addr returns the listening address, for nodes to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close releases the listener.
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// vertexConn is a connected, vertex-claimed peer.
+type vertexConn struct {
+	conn net.Conn
+	fc   *Conn
+}
+
+// Serve accepts g.N() vertex connections, runs the protocol to
+// completion, and returns the MIS. It must be called once.
+func (c *Coordinator) Serve(opts CoordinatorOptions) (*CoordinatorResult, error) {
+	timeout := opts.IOTimeout
+	if timeout <= 0 {
+		timeout = DefaultIOTimeout
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+	n := c.g.N()
+	conns := make([]*vertexConn, n)
+	defer func() {
+		for _, vc := range conns {
+			if vc != nil {
+				_ = vc.conn.Close()
+			}
+		}
+	}()
+
+	// Accept and handshake until every vertex is claimed. Connections
+	// that fail before a well-formed hello (port scanners, health
+	// probes, dropped dials) are tolerated and simply closed; protocol
+	// violations after a valid hello — duplicate or out-of-range vertex
+	// claims — indicate misconfiguration and abort the run.
+	for claimed := 0; claimed < n; {
+		raw, err := c.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("coordinator accept: %w", err)
+		}
+		_ = raw.SetDeadline(time.Now().Add(timeout))
+		fc := NewConn(raw)
+		hello, err := fc.Expect(TypeHello)
+		if err != nil {
+			_ = raw.Close()
+			continue
+		}
+		ids, err := payloadU32s(hello, 1)
+		if err != nil {
+			_ = raw.Close()
+			continue
+		}
+		id := int(ids[0])
+		if id < 0 || id >= n {
+			_ = raw.Close()
+			return nil, fmt.Errorf("%w: hello for vertex %d with n=%d", graph.ErrVertexRange, id, n)
+		}
+		if conns[id] != nil {
+			_ = raw.Close()
+			return nil, fmt.Errorf("%w: vertex %d", ErrVertexClaimed, id)
+		}
+		welcome := u32Payload(uint32(n), uint32(c.g.Degree(id)), uint32(c.g.MaxDegree()))
+		if err := fc.Send(Frame{Type: TypeWelcome, Payload: welcome}); err != nil {
+			_ = raw.Close()
+			return nil, fmt.Errorf("handshake welcome: %w", err)
+		}
+		conns[id] = &vertexConn{conn: raw, fc: fc}
+		claimed++
+	}
+
+	res := &CoordinatorResult{InMIS: make([]bool, n)}
+	states := make([]beep.State, n)
+	for v := range states {
+		states[v] = beep.StateActive
+	}
+	active := n
+	beeped := make([]bool, n)
+	joined := make([]bool, n)
+
+	// broadcast sends a frame to every vertex concurrently; gather reads
+	// one expected frame from every vertex concurrently. Concurrency
+	// matters here: with sequential I/O a slow peer would serialise the
+	// whole round.
+	broadcast := func(mk func(v int) Frame) error {
+		return c.forAll(conns, timeout, func(v int, vc *vertexConn) error {
+			return vc.fc.Send(mk(v))
+		})
+	}
+	gatherBool := func(want uint8, into []bool) error {
+		return c.forAll(conns, timeout, func(v int, vc *vertexConn) error {
+			f, err := vc.fc.Expect(want)
+			if err != nil {
+				return err
+			}
+			b, err := payloadBool(f)
+			if err != nil {
+				return err
+			}
+			into[v] = b
+			return nil
+		})
+	}
+
+	round := 0
+	for active > 0 && round < maxRounds {
+		round++
+		if err := broadcast(func(int) Frame {
+			return Frame{Type: TypeRound, Payload: u32Payload(uint32(round))}
+		}); err != nil {
+			return nil, fmt.Errorf("round %d start: %w", round, err)
+		}
+		// First exchange.
+		if err := gatherBool(TypeBeep, beeped); err != nil {
+			return nil, fmt.Errorf("round %d beeps: %w", round, err)
+		}
+		if err := broadcast(func(v int) Frame {
+			heard := false
+			for _, w := range c.g.Neighbors(v) {
+				if beeped[w] {
+					heard = true
+					break
+				}
+			}
+			return Frame{Type: TypeHeard, Payload: boolByte(heard)}
+		}); err != nil {
+			return nil, fmt.Errorf("round %d heard: %w", round, err)
+		}
+		// Second exchange.
+		if err := gatherBool(TypeJoin, joined); err != nil {
+			return nil, fmt.Errorf("round %d joins: %w", round, err)
+		}
+		if err := broadcast(func(v int) Frame {
+			neighborJoined := false
+			for _, w := range c.g.Neighbors(v) {
+				if joined[w] {
+					neighborJoined = true
+					break
+				}
+			}
+			st := states[v]
+			if st == beep.StateActive {
+				switch {
+				case joined[v]:
+					st = beep.StateInMIS
+				case neighborJoined:
+					st = beep.StateDominated
+				}
+			}
+			return Frame{Type: TypeOutcome, Payload: []byte{byte(st), boolByte(neighborJoined)[0]}}
+		}); err != nil {
+			return nil, fmt.Errorf("round %d outcome: %w", round, err)
+		}
+		// Apply transitions locally (the authoritative copy mirrors what
+		// was just announced to the nodes).
+		for v := 0; v < n; v++ {
+			if states[v] != beep.StateActive {
+				continue
+			}
+			nj := false
+			for _, w := range c.g.Neighbors(v) {
+				if joined[w] {
+					nj = true
+					break
+				}
+			}
+			switch {
+			case joined[v]:
+				states[v] = beep.StateInMIS
+				res.InMIS[v] = true
+				active--
+			case nj:
+				states[v] = beep.StateDominated
+				active--
+			}
+		}
+	}
+	res.Rounds = round
+	if err := broadcast(func(int) Frame { return Frame{Type: TypeStop} }); err != nil {
+		return nil, fmt.Errorf("stop broadcast: %w", err)
+	}
+	if active > 0 {
+		return res, fmt.Errorf("transport: %d vertices still active after %d rounds", active, maxRounds)
+	}
+	return res, nil
+}
+
+// forAll runs fn for each vertex connection concurrently and returns the
+// first error (if any) after all goroutines finish.
+func (c *Coordinator) forAll(conns []*vertexConn, timeout time.Duration, fn func(v int, vc *vertexConn) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(conns))
+	for v, vc := range conns {
+		v, vc := v, vc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = vc.conn.SetDeadline(time.Now().Add(timeout))
+			errs[v] = fn(v, vc)
+		}()
+	}
+	wg.Wait()
+	for v, err := range errs {
+		if err != nil {
+			return fmt.Errorf("vertex %d: %w", v, err)
+		}
+	}
+	return nil
+}

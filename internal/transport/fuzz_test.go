@@ -1,0 +1,34 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame asserts the frame decoder never panics or over-allocates
+// on arbitrary byte streams, and that every frame it accepts re-encodes
+// to the same bytes it consumed.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, Frame{Type: TypeHello, Payload: u32Payload(7)})
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 1, TypeStop})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		frame, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - r.Len()
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, frame); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:consumed]) {
+			t.Fatalf("re-encode differs: %x vs %x", buf.Bytes(), data[:consumed])
+		}
+	})
+}

@@ -1,0 +1,343 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/sim"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Type: TypeHello, Payload: u32Payload(42)},
+		{Type: TypeStop},
+		{Type: TypeBeep, Payload: []byte{1}},
+		{Type: TypeWelcome, Payload: u32Payload(10, 3, 5)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrame(&buf, Frame{Type: 1, Payload: make([]byte, MaxFrameSize+1)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	// Forged oversized header on the read side.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read err = %v", err)
+	}
+}
+
+func TestFrameZeroLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0, 1})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, Frame{Type: TypeBeep, Payload: []byte{1}})
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestPayloadHelpers(t *testing.T) {
+	if b, err := payloadBool(Frame{Payload: []byte{1}}); err != nil || !b {
+		t.Fatalf("payloadBool: %v %v", b, err)
+	}
+	if _, err := payloadBool(Frame{Payload: []byte{1, 2}}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v", err)
+	}
+	vals, err := payloadU32s(Frame{Payload: u32Payload(7, 9)}, 2)
+	if err != nil || vals[0] != 7 || vals[1] != 9 {
+		t.Fatalf("payloadU32s: %v %v", vals, err)
+	}
+	if _, err := payloadU32s(Frame{Payload: []byte{0}}, 1); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// runDistributed runs a full coordinator + per-vertex-goroutine
+// deployment over loopback TCP and returns the coordinator result and
+// each node's view.
+func runDistributed(t *testing.T, g *graph.Graph, seed uint64) (*CoordinatorResult, []*NodeResult) {
+	t.Helper()
+	coord, err := NewCoordinator(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := rng.New(seed)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		nodeRes  = make([]*NodeResult, g.N())
+		nodeErrs = make([]error, g.N())
+	)
+	for v := 0; v < g.N(); v++ {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := RunNode(coord.Addr(), v, factory, master.Stream(uint64(v)), NodeOptions{})
+			mu.Lock()
+			defer mu.Unlock()
+			nodeRes[v] = res
+			nodeErrs[v] = err
+		}()
+	}
+	coordRes, err := coord.Serve(CoordinatorOptions{})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+	for v, err := range nodeErrs {
+		if err != nil {
+			t.Fatalf("node %d: %v", v, err)
+		}
+	}
+	return coordRes, nodeRes
+}
+
+func TestDistributedRunProducesMIS(t *testing.T) {
+	g := graph.GNP(30, 0.3, rng.New(1))
+	coordRes, nodeRes := runDistributed(t, g, 99)
+	if err := graph.VerifyMIS(g, coordRes.InMIS); err != nil {
+		t.Fatal(err)
+	}
+	for v, nr := range nodeRes {
+		if nr.InMIS != coordRes.InMIS[v] {
+			t.Fatalf("vertex %d: node view %v, coordinator view %v", v, nr.InMIS, coordRes.InMIS[v])
+		}
+		if nr.Rounds != coordRes.Rounds {
+			t.Fatalf("vertex %d rounds %d, coordinator %d", v, nr.Rounds, coordRes.Rounds)
+		}
+		if !nr.State.Terminal() {
+			t.Fatalf("vertex %d ended non-terminal", v)
+		}
+	}
+}
+
+// TestDistributedMatchesSimulator is the strongest transport test: the
+// TCP deployment must reproduce the simulator's execution exactly, since
+// the per-vertex randomness streams are identical.
+func TestDistributedMatchesSimulator(t *testing.T) {
+	g := graph.GNP(25, 0.4, rng.New(2))
+	const seed = 1234
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := sim.Run(g, factory, rng.New(seed), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordRes, nodeRes := runDistributed(t, g, seed)
+	if coordRes.Rounds != simRes.Rounds {
+		t.Fatalf("rounds: tcp %d, sim %d", coordRes.Rounds, simRes.Rounds)
+	}
+	for v := range simRes.InMIS {
+		if coordRes.InMIS[v] != simRes.InMIS[v] {
+			t.Fatalf("vertex %d membership differs from simulator", v)
+		}
+		if nodeRes[v].Beeps != simRes.Beeps[v] {
+			t.Fatalf("vertex %d beeps tcp %d, sim %d", v, nodeRes[v].Beeps, simRes.Beeps[v])
+		}
+	}
+}
+
+func TestDistributedSingleVertex(t *testing.T) {
+	g := graph.Empty(1)
+	coordRes, _ := runDistributed(t, g, 5)
+	if !coordRes.InMIS[0] {
+		t.Fatal("lone vertex must join")
+	}
+}
+
+func TestCoordinatorRejectsDuplicateClaim(t *testing.T) {
+	g := graph.Empty(2)
+	coord, err := NewCoordinator(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		_, err := coord.Serve(CoordinatorOptions{})
+		serveErr <- err
+	}()
+
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two nodes claim vertex 0; whichever arrives second must sink the
+	// run.
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			_, _ = RunNode(coord.Addr(), 0, factory, rng.New(1), NodeOptions{})
+		}()
+	}
+	if err := <-serveErr; !errors.Is(err, ErrVertexClaimed) {
+		t.Fatalf("Serve err = %v, want ErrVertexClaimed", err)
+	}
+	<-done
+	<-done
+}
+
+func TestCoordinatorRejectsOutOfRangeVertex(t *testing.T) {
+	g := graph.Empty(1)
+	coord, err := NewCoordinator(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	serveErr := make(chan error, 1)
+	go func() {
+		_, err := coord.Serve(CoordinatorOptions{})
+		serveErr <- err
+	}()
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = RunNode(coord.Addr(), 5, factory, rng.New(1), NodeOptions{})
+	}()
+	if err := <-serveErr; !errors.Is(err, graph.ErrVertexRange) {
+		t.Fatalf("Serve err = %v, want ErrVertexRange", err)
+	}
+}
+
+func TestConnExpectWrongType(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Send(Frame{Type: TypeBeep, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Expect(TypeJoin); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCoordinatorToleratesProbeConnections(t *testing.T) {
+	g := graph.Empty(1)
+	coord, err := NewCoordinator(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	serveRes := make(chan error, 1)
+	go func() {
+		_, err := coord.Serve(CoordinatorOptions{})
+		serveRes <- err
+	}()
+	// A connect-and-close probe and a garbage writer must not kill the
+	// run.
+	probe, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = probe.Close()
+	garbage, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = garbage.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	_ = garbage.Close()
+
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNode(coord.Addr(), 0, factory, rng.New(1), NodeOptions{}); err != nil {
+		t.Fatalf("real node failed after probes: %v", err)
+	}
+	if err := <-serveRes; err != nil {
+		t.Fatalf("Serve failed after probes: %v", err)
+	}
+}
+
+func TestCoordinatorTimesOutStalledNode(t *testing.T) {
+	g := graph.Empty(2)
+	coord, err := NewCoordinator(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	serveRes := make(chan error, 1)
+	go func() {
+		_, err := coord.Serve(CoordinatorOptions{IOTimeout: 300 * time.Millisecond})
+		serveRes <- err
+	}()
+	// Vertex 0 participates properly; vertex 1 claims its slot and then
+	// stalls forever, so the coordinator's per-operation deadline must
+	// fail the round rather than hang the run.
+	stalled, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stalled.Close() }()
+	fc := NewConn(stalled)
+	if err := fc.Send(Frame{Type: TypeHello, Payload: u32Payload(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Expect(TypeWelcome); err != nil {
+		t.Fatal(err)
+	}
+
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = RunNode(coord.Addr(), 0, factory, rng.New(1), NodeOptions{IOTimeout: 2 * time.Second})
+	}()
+	select {
+	case err := <-serveRes:
+		if err == nil {
+			t.Fatal("Serve succeeded despite a stalled vertex")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve hung on a stalled vertex")
+	}
+}
