@@ -75,6 +75,23 @@ func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, 
 // Verify checks that set is a maximal independent set of g.
 func Verify(g *Graph, set []bool) error { return graph.VerifyMIS(g, set) }
 
+// Engine selects the simulation engine used for the beeping algorithms.
+// All engines produce bit-identical Results for a given seed; they
+// differ only in speed (see DESIGN.md for the selection heuristic).
+type Engine = sim.Engine
+
+const (
+	// EngineAuto picks the bitset engine on graphs dense enough for
+	// word-parallel delivery to win, the scalar engine otherwise. This
+	// is the default.
+	EngineAuto = sim.EngineAuto
+	// EngineScalar walks adjacency lists edge-by-edge.
+	EngineScalar = sim.EngineScalar
+	// EngineBitset delivers beeps via packed adjacency-row bitsets, 64
+	// listeners per word operation (O(n²/8) bytes of memory).
+	EngineBitset = sim.EngineBitset
+)
+
 // Algorithm selects an MIS algorithm.
 type Algorithm string
 
@@ -149,6 +166,7 @@ type solveOptions struct {
 	maxRounds  int
 	feedback   FeedbackConfig
 	concurrent bool
+	engine     Engine
 }
 
 // Option customises Solve.
@@ -167,6 +185,16 @@ func WithMaxRounds(max int) Option {
 // WithFeedbackConfig overrides the feedback algorithm's parameters.
 func WithFeedbackConfig(cfg FeedbackConfig) Option {
 	return func(o *solveOptions) { o.feedback = cfg }
+}
+
+// WithEngine pins the simulation engine for beeping algorithms instead
+// of the default density-based auto-selection. Results are identical for
+// every engine on a given seed; pinning matters only for performance
+// work and for tests that cross-check the engines against each other.
+// Combining a pin with WithConcurrentEngine is an error — the
+// goroutine-per-node runtime has no simulator engine to pin.
+func WithEngine(e Engine) Option {
+	return func(o *solveOptions) { o.engine = e }
 }
 
 // WithConcurrentEngine runs beeping algorithms on the goroutine-per-node
@@ -207,13 +235,16 @@ func Solve(g *Graph, algo Algorithm, opts ...Option) (*Result, error) {
 			return nil, err
 		}
 		if o.concurrent {
+			if o.engine != EngineAuto {
+				return nil, fmt.Errorf("beepmis: WithEngine(%v) conflicts with WithConcurrentEngine (the goroutine-per-node runtime has no simulator engine)", o.engine)
+			}
 			rr, err := runtime.Run(g, factory, rng.New(o.seed), runtime.Options{MaxRounds: o.maxRounds})
 			if err != nil {
 				return nil, err
 			}
 			return &Result{InMIS: rr.InMIS, Rounds: rr.Rounds, TotalBeeps: rr.TotalBeeps}, nil
 		}
-		sr, err := sim.Run(g, factory, rng.New(o.seed), sim.Options{MaxRounds: o.maxRounds})
+		sr, err := sim.Run(g, factory, rng.New(o.seed), sim.Options{MaxRounds: o.maxRounds, Engine: o.engine})
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@
 package beepmis
 
 import (
+	"sync"
 	"testing"
 
 	"beepmis/internal/graph"
@@ -174,6 +175,72 @@ func BenchmarkEngineConcurrent(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Engine scaling — the scalar adjacency-walk engine against the
+// word-parallel bitset engine on large dense graphs, where one OR
+// delivers a beep to 64 listeners at once. The two engines produce
+// bit-identical results (see TestEngineEquivalence); these benchmarks
+// quantify the wall-clock gap at n ≥ 10⁵, far beyond the paper's
+// n ≤ 1000 evaluation sizes. Graphs are generated once per process and
+// the bitset engine's adjacency matrix is built outside the timer, so
+// the measurement isolates the simulation loop.
+var (
+	gnp100kOnce sync.Once
+	gnp100k     *graph.Graph
+	gnp20kOnce  sync.Once
+	gnp20k      *graph.Graph
+)
+
+// gnp100kGraph is G(10⁵, 0.05): 2.5·10⁸ edges, average degree 5000 —
+// the "millions of beeps per round" regime the scalar engine crawls in.
+func gnp100kGraph() *graph.Graph {
+	gnp100kOnce.Do(func() { gnp100k = graph.GNP(100000, 0.05, rng.New(10)) })
+	return gnp100k
+}
+
+// gnp20kDenseGraph is G(2·10⁴, 0.5): the paper's density at 20× its
+// largest size.
+func gnp20kDenseGraph() *graph.Graph {
+	gnp20kOnce.Do(func() { gnp20k = graph.GNP(20000, 0.5, rng.New(11)) })
+	return gnp20k
+}
+
+func benchEngine(b *testing.B, g *graph.Graph, engine sim.Engine) {
+	b.Helper()
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if engine == sim.EngineBitset {
+		g.Matrix() // build (and cache) the packed rows outside the timer
+	}
+	var rounds float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(g, factory, rng.New(uint64(i)), sim.Options{Engine: engine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += float64(res.Rounds)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/run")
+}
+
+func BenchmarkEngineScalarGNP100k(b *testing.B) {
+	benchEngine(b, gnp100kGraph(), sim.EngineScalar)
+}
+
+func BenchmarkEngineBitsetGNP100k(b *testing.B) {
+	benchEngine(b, gnp100kGraph(), sim.EngineBitset)
+}
+
+func BenchmarkEngineScalarGNP20kDense(b *testing.B) {
+	benchEngine(b, gnp20kDenseGraph(), sim.EngineScalar)
+}
+
+func BenchmarkEngineBitsetGNP20kDense(b *testing.B) {
+	benchEngine(b, gnp20kDenseGraph(), sim.EngineBitset)
 }
 
 // Centralised baseline — the trivial sequential scan from §1.

@@ -7,6 +7,11 @@
 //	misbench -exp fig5 -trials 20 -format plot
 //	misbench -exp all -trials 5 -maxn 300   # quick pass over everything
 //	misbench -exp fig3 -format csv -out fig3.csv
+//	misbench -exp fig3 -workers 4           # bound the trial worker pool
+//	misbench -exp fig3 -engine bitset       # pin the simulation engine
+//
+// Trials run in parallel on a bounded worker pool; output is
+// bit-identical for any -workers value and any -engine choice.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"beepmis/internal/experiment"
+	"beepmis/internal/sim"
 )
 
 func main() {
@@ -38,10 +44,17 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("out", "", "write output to this file instead of stdout")
 		compare = fs.String("compare", "", "compare the run against a baseline JSON file (written with -format json); non-empty drift fails")
 		tol     = fs.Float64("tolerance", 0.2, "relative drift tolerance for -compare")
+		engine  = fs.String("engine", "auto", "simulation engine: auto, scalar, or bitset (results are seed-identical)")
+		workers = fs.Int("workers", 0, "trial worker pool size (0 = all cores; results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN, Workers: *workers, Engine: eng}
 	if *list {
 		for _, id := range experiment.IDs() {
 			title, err := experiment.Describe(id)
@@ -53,7 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 	if *verdict {
-		return runVerdict(stdout, experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN})
+		return runVerdict(stdout, cfg)
 	}
 	if *exp == "" {
 		return fmt.Errorf("missing -exp (use -list to see experiments)")
@@ -73,7 +86,6 @@ func run(args []string, stdout io.Writer) error {
 	if *exp == "all" {
 		ids = experiment.IDs()
 	}
-	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN}
 	for i, id := range ids {
 		res, err := experiment.Run(id, cfg)
 		if err != nil {

@@ -1,0 +1,95 @@
+package beepmis
+
+import "testing"
+
+// TestEngineEquivalence asserts the public seed-equivalence contract:
+// for every beeping algorithm, graph family, and seed, the scalar and
+// bitset engines produce identical Results. The families mirror the
+// repository's generator catalogue; sizes straddle 64-bit word
+// boundaries so packing bugs cannot hide.
+func TestEngineEquivalence(t *testing.T) {
+	families := []struct {
+		name string
+		g    *Graph
+	}{
+		{"gnp-190-half", GNP(190, 0.5, 1)},
+		{"gnp-260-sparse", GNP(260, 0.03, 2)},
+		{"grid-11x13", Grid(11, 13)},
+		{"complete-96", Complete(96)},
+		{"cliquefamily-343", CliqueFamily(343)},
+		{"unitdisk-220", UnitDisk(220, 0.12, 3)},
+	}
+	algos := []Algorithm{AlgorithmFeedback, AlgorithmGlobalSweep, AlgorithmAfekOriginal}
+	seeds := []uint64{0, 1, 42, 1 << 33}
+
+	for _, fam := range families {
+		for _, algo := range algos {
+			for _, seed := range seeds {
+				t.Run(fam.name+"/"+string(algo), func(t *testing.T) {
+					scalar, err := Solve(fam.g, algo, WithSeed(seed), WithEngine(EngineScalar))
+					if err != nil {
+						t.Fatalf("scalar: %v", err)
+					}
+					bitset, err := Solve(fam.g, algo, WithSeed(seed), WithEngine(EngineBitset))
+					if err != nil {
+						t.Fatalf("bitset: %v", err)
+					}
+					if scalar.Rounds != bitset.Rounds {
+						t.Fatalf("seed %d: Rounds %d vs %d", seed, scalar.Rounds, bitset.Rounds)
+					}
+					if scalar.TotalBeeps != bitset.TotalBeeps {
+						t.Fatalf("seed %d: TotalBeeps %d vs %d", seed, scalar.TotalBeeps, bitset.TotalBeeps)
+					}
+					for v := range scalar.InMIS {
+						if scalar.InMIS[v] != bitset.InMIS[v] {
+							t.Fatalf("seed %d: InMIS differs at vertex %d", seed, v)
+						}
+					}
+					if err := Verify(fam.g, bitset.InMIS); err != nil {
+						t.Fatalf("seed %d: invalid MIS: %v", seed, err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEnginePinConflictsWithConcurrent asserts the explicit rejection of
+// an engine pin combined with the concurrent runtime, which has no
+// simulator engine to pin.
+func TestEnginePinConflictsWithConcurrent(t *testing.T) {
+	g := GNP(40, 0.3, 2)
+	_, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithEngine(EngineBitset), WithConcurrentEngine())
+	if err == nil {
+		t.Fatal("WithEngine + WithConcurrentEngine was silently accepted")
+	}
+	// The auto pin is the no-op default and stays allowed.
+	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithEngine(EngineAuto), WithConcurrentEngine()); err != nil {
+		t.Fatalf("WithEngine(EngineAuto) + WithConcurrentEngine: %v", err)
+	}
+}
+
+// TestEngineDefaultIsAuto pins the default Solve path to the same result
+// as both explicit engines, so auto-selection can never change results.
+func TestEngineDefaultIsAuto(t *testing.T) {
+	g := GNP(300, 0.5, 9)
+	def, err := Solve(g, AlgorithmFeedback, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset} {
+		res, err := Solve(g, AlgorithmFeedback, WithSeed(5), WithEngine(e))
+		if err != nil {
+			t.Fatalf("engine %v: %v", e, err)
+		}
+		if res.Rounds != def.Rounds || res.TotalBeeps != def.TotalBeeps {
+			t.Fatalf("engine %v diverged from default: rounds %d vs %d, beeps %d vs %d",
+				e, res.Rounds, def.Rounds, res.TotalBeeps, def.TotalBeeps)
+		}
+		for v := range def.InMIS {
+			if res.InMIS[v] != def.InMIS[v] {
+				t.Fatalf("engine %v: InMIS differs at vertex %d", e, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package beepmis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun smoke-tests every examples/ binary: each must
+// compile and run to completion with a zero exit status. The examples
+// are self-contained demos that terminate on their own; a generous
+// timeout guards against a regression that makes one hang.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test builds and runs binaries; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 6 {
+		t.Fatalf("expected at least 6 examples, found %v", names)
+	}
+	binDir := t.TempDir()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./examples/%s: %v\n%s", name, err, out)
+			}
+			done := make(chan error, 1)
+			cmd := exec.Command(bin)
+			cmd.Stdout = nil // discard demo output
+			cmd.Stderr = nil
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("examples/%s exited with %v", name, err)
+				}
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("examples/%s did not terminate within 3 minutes", name)
+			}
+		})
+	}
+}

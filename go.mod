@@ -1,0 +1,3 @@
+module beepmis
+
+go 1.24

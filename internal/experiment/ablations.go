@@ -36,7 +36,7 @@ func runAblateFactor(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pt, censored, err := sweepPoint(master, fi, trials, 0, factory, gnpHalf(n), roundsMetric)
+		pt, censored, err := sweepPoint(cfg, master, fi, trials, 0, factory, gnpHalf(n), roundsMetric)
 		if err != nil {
 			return nil, fmt.Errorf("factor %v: %w", factor, err)
 		}
@@ -81,7 +81,7 @@ func runAblateInit(cfg Config) (*Result, error) {
 		}
 		series := Series{Name: u.name}
 		for si, n := range ns {
-			pt, _, err := sweepPoint(master, ui*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+			pt, _, err := sweepPoint(cfg, master, ui*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", u.name, n, err)
 			}
@@ -100,7 +100,7 @@ func runAblateInit(cfg Config) (*Result, error) {
 	}
 	series := Series{Name: "p0 random per node"}
 	for si, n := range ns {
-		pt, _, err := sweepPoint(master, 9000+si, trials, 0, hetero, gnpHalf(n), roundsMetric)
+		pt, _, err := sweepPoint(cfg, master, 9000+si, trials, 0, hetero, gnpHalf(n), roundsMetric)
 		if err != nil {
 			return nil, fmt.Errorf("hetero n=%d: %w", n, err)
 		}
@@ -137,26 +137,38 @@ func runAblateLoss(cfg Config) (*Result, error) {
 		XLabel: "loss probability",
 		YLabel: "time steps / violation %",
 	}
+	// EngineBitset refuses BeepLoss (loss draws happen per edge), so a
+	// bitset pin cannot be honored here; say so instead of silently
+	// substituting, and let EngineAuto fall back to the scalar exchange
+	// on every lossy point.
+	engine := cfg.Engine
+	if engine == sim.EngineBitset {
+		engine = sim.EngineAuto
+		res.Notes = append(res.Notes, "engine pin \"bitset\" ignored: lossy exchanges require the scalar engine")
+	}
 	roundsSeries := Series{Name: "time steps"}
 	violSeries := Series{Name: "independence violations (%)"}
 	for li, loss := range losses {
-		rounds := make([]float64, 0, trials)
-		violations := 0
-		for trial := 0; trial < trials; trial++ {
+		rounds := make([]float64, trials)
+		violated := make([]bool, trials)
+		err := forTrials(cfg.workers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(li, trial, 1)))
-			r, err := sim.Run(g, factory, master.Stream(trialKey(li, trial, 2)), sim.Options{BeepLoss: loss})
+			r, err := sim.Run(g, factory, master.Stream(trialKey(li, trial, 2)), sim.Options{BeepLoss: loss, Engine: engine})
 			if err != nil {
 				if errors.Is(err, sim.ErrTooManyRounds) {
-					rounds = append(rounds, float64(r.Rounds))
-					continue
+					rounds[trial] = float64(r.Rounds)
+					return nil
 				}
-				return nil, fmt.Errorf("loss %v: %w", loss, err)
+				return fmt.Errorf("loss %v: %w", loss, err)
 			}
-			rounds = append(rounds, float64(r.Rounds))
-			if !graph.IsIndependent(g, r.InMIS) {
-				violations++
-			}
+			rounds[trial] = float64(r.Rounds)
+			violated[trial] = !graph.IsIndependent(g, r.InMIS)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		violations := countTrue(violated)
 		roundsSeries.Points = append(roundsSeries.Points, Point{
 			X: loss, Mean: stats.Mean(rounds), Std: stats.StdDev(rounds), Trials: trials,
 		})
@@ -207,7 +219,7 @@ func runAblateFloor(cfg Config) (*Result, error) {
 		series := Series{Name: fl.name}
 		for si, n := range ns {
 			n := n
-			pt, censored, err := sweepPoint(master, fi*1000+si, trials, roundCap, factory,
+			pt, censored, err := sweepPoint(cfg, master, fi*1000+si, trials, roundCap, factory,
 				func(*rng.Source) *graph.Graph { return graph.CliqueFamily(n) },
 				roundsMetric)
 			if err != nil {

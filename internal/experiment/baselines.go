@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"beepmis/internal/graph"
 	"beepmis/internal/mis"
@@ -33,19 +34,27 @@ func runLuby(cfg Config) (*Result, error) {
 	for vi, variant := range variants {
 		series := Series{Name: variant.String()}
 		for si, n := range ns {
-			rounds := make([]float64, 0, trials)
-			bits := 0.0
-			for trial := 0; trial < trials; trial++ {
+			rounds := make([]float64, trials)
+			bitSlots := make([]float64, trials)
+			err := forTrials(cfg.workers(), trials, func(trial int) error {
 				g := graph.GNP(n, 0.5, master.Stream(trialKey(vi*1000+si, trial, 1)))
 				lr, err := mis.Luby(g, variant, master.Stream(trialKey(vi*1000+si, trial, 2)))
 				if err != nil {
-					return nil, fmt.Errorf("%v n=%d: %w", variant, n, err)
+					return fmt.Errorf("%v n=%d: %w", variant, n, err)
 				}
 				if err := graph.VerifyMIS(g, lr.InMIS); err != nil {
-					return nil, fmt.Errorf("%v n=%d: invalid MIS: %w", variant, n, err)
+					return fmt.Errorf("%v n=%d: invalid MIS: %w", variant, n, err)
 				}
-				rounds = append(rounds, float64(lr.Rounds))
-				bits += float64(lr.Bits) / float64(n)
+				rounds[trial] = float64(lr.Rounds)
+				bitSlots[trial] = float64(lr.Bits) / float64(n)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			bits := 0.0
+			for _, b := range bitSlots {
+				bits += b
 			}
 			series.Points = append(series.Points, Point{
 				X:      float64(n),
@@ -69,7 +78,7 @@ func runLuby(cfg Config) (*Result, error) {
 	maxN := ns[len(ns)-1]
 	for si, n := range ns {
 		n := n
-		pt, _, err := sweepPoint(master, 9000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+		pt, _, err := sweepPoint(cfg, master, 9000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
 		if err != nil {
 			return nil, fmt.Errorf("feedback n=%d: %w", n, err)
 		}
@@ -78,7 +87,7 @@ func runLuby(cfg Config) (*Result, error) {
 		if n == maxN {
 			// One extra pass for the bit accounting note: each beep is
 			// one bit on each incident channel.
-			beepsPt, _, err := sweepPoint(master, 9500+si, trials, 0, factory, gnpHalf(n), beepsMetric)
+			beepsPt, _, err := sweepPoint(cfg, master, 9500+si, trials, 0, factory, gnpHalf(n), beepsMetric)
 			if err != nil {
 				return nil, err
 			}
@@ -87,8 +96,15 @@ func runLuby(cfg Config) (*Result, error) {
 	}
 	res.Series = append(res.Series, series)
 
-	for name, bits := range totalBits {
-		res.Notes = append(res.Notes, fmt.Sprintf("%s: ≈%.1f message bits per node at n=%d (per incident channel for beeps)", name, bits, maxN))
+	// Map iteration order is randomised; sort so the rendered notes are a
+	// pure function of the seed like everything else.
+	names := make([]string, 0, len(totalBits))
+	for name := range totalBits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res.Notes = append(res.Notes, fmt.Sprintf("%s: ≈%.1f message bits per node at n=%d (per incident channel for beeps)", name, totalBits[name], maxN))
 	}
 	appendFitNotes(res, "luby-permutation", "luby-probability", "feedback")
 	return res, nil

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"beepmis/internal/plot"
+	"beepmis/internal/sim"
 )
 
 // Config scales an experiment run. The zero value reproduces the paper's
@@ -29,6 +30,15 @@ type Config struct {
 	// MaxN caps the largest workload size when > 0, shrinking the sweep
 	// for quick runs.
 	MaxN int
+	// Workers bounds the per-point trial worker pool; 0 means
+	// GOMAXPROCS. Results are bit-identical for any worker count — each
+	// trial draws from its own rng streams and aggregation happens in
+	// trial order.
+	Workers int
+	// Engine selects the simulation engine for every trial (the zero
+	// value is sim.EngineAuto). Lossy-exchange experiments always use
+	// the scalar path regardless, since per-edge loss draws need it.
+	Engine sim.Engine
 }
 
 // Point is one x position of a series.

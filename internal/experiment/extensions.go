@@ -47,21 +47,28 @@ func runBits(cfg Config) (*Result, error) {
 	}
 	fbSeries := Series{Name: "feedback"}
 	for si, n := range ns {
-		vals := make([]float64, 0, trials)
-		for trial := 0; trial < trials; trial++ {
+		slots := make([]float64, trials)
+		ok := make([]bool, trials)
+		err := forTrials(cfg.workers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(si, trial, 1)))
-			r, err := sim.Run(g, factory, master.Stream(trialKey(si, trial, 2)), sim.Options{})
+			r, err := sim.Run(g, factory, master.Stream(trialKey(si, trial, 2)), sim.Options{Engine: cfg.Engine})
 			if err != nil {
-				return nil, fmt.Errorf("feedback n=%d: %w", n, err)
+				return fmt.Errorf("feedback n=%d: %w", n, err)
 			}
 			weighted := 0.0
 			for v, b := range r.Beeps {
 				weighted += float64(b) * float64(g.Degree(v))
 			}
 			if g.M() > 0 {
-				vals = append(vals, weighted/float64(g.M()))
+				slots[trial] = weighted / float64(g.M())
+				ok[trial] = true
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		vals := collectOK(slots, ok)
 		fbSeries.Points = append(fbSeries.Points, Point{
 			X: float64(n), Mean: stats.Mean(vals), Std: stats.StdDev(vals), Trials: trials,
 		})
@@ -71,14 +78,21 @@ func runBits(cfg Config) (*Result, error) {
 	// Métivier: duel bits counted exactly by the implementation.
 	metSeries := Series{Name: "metivier"}
 	for si, n := range ns {
-		vals := make([]float64, 0, trials)
-		for trial := 0; trial < trials; trial++ {
+		slots := make([]float64, trials)
+		ok := make([]bool, trials)
+		err := forTrials(cfg.workers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(1000+si, trial, 1)))
 			r := mis.Metivier(g, master.Stream(trialKey(1000+si, trial, 2)))
 			if g.M() > 0 {
-				vals = append(vals, float64(r.Bits)/float64(g.M()))
+				slots[trial] = float64(r.Bits) / float64(g.M())
+				ok[trial] = true
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		vals := collectOK(slots, ok)
 		metSeries.Points = append(metSeries.Points, Point{
 			X: float64(n), Mean: stats.Mean(vals), Std: stats.StdDev(vals), Trials: trials,
 		})
@@ -89,17 +103,24 @@ func runBits(cfg Config) (*Result, error) {
 	// implementation (64-bit degree/mark messages + join bits).
 	lubySeries := Series{Name: "luby-probability"}
 	for si, n := range ns {
-		vals := make([]float64, 0, trials)
-		for trial := 0; trial < trials; trial++ {
+		slots := make([]float64, trials)
+		ok := make([]bool, trials)
+		err := forTrials(cfg.workers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(2000+si, trial, 1)))
 			r, err := mis.Luby(g, mis.LubyProbability, master.Stream(trialKey(2000+si, trial, 2)))
 			if err != nil {
-				return nil, fmt.Errorf("luby n=%d: %w", n, err)
+				return fmt.Errorf("luby n=%d: %w", n, err)
 			}
 			if g.M() > 0 {
-				vals = append(vals, float64(r.Bits)/float64(g.M()))
+				slots[trial] = float64(r.Bits) / float64(g.M())
+				ok[trial] = true
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		vals := collectOK(slots, ok)
 		lubySeries.Points = append(lubySeries.Points, Point{
 			X: float64(n), Mean: stats.Mean(vals), Std: stats.StdDev(vals), Trials: trials,
 		})
@@ -140,25 +161,29 @@ func runWakeup(cfg Config) (*Result, error) {
 	excess := Series{Name: "completion − W"}
 	invalid := 0
 	for wi, w := range windows {
-		vals := make([]float64, 0, trials)
-		exVals := make([]float64, 0, trials)
-		for trial := 0; trial < trials; trial++ {
+		vals := make([]float64, trials)
+		exVals := make([]float64, trials)
+		bad := make([]bool, trials)
+		err := forTrials(cfg.workers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(wi, trial, 1)))
 			wakeSrc := master.Stream(trialKey(wi, trial, 3))
 			wake := make([]int, g.N())
 			for v := range wake {
 				wake[v] = 1 + wakeSrc.Intn(w)
 			}
-			r, err := sim.Run(g, factory, master.Stream(trialKey(wi, trial, 2)), sim.Options{WakeAt: wake})
+			r, err := sim.Run(g, factory, master.Stream(trialKey(wi, trial, 2)), sim.Options{WakeAt: wake, Engine: cfg.Engine})
 			if err != nil {
-				return nil, fmt.Errorf("window %d: %w", w, err)
+				return fmt.Errorf("window %d: %w", w, err)
 			}
-			if graph.VerifyMIS(g, r.InMIS) != nil {
-				invalid++
-			}
-			vals = append(vals, float64(r.Rounds))
-			exVals = append(exVals, float64(r.Rounds-w))
+			bad[trial] = graph.VerifyMIS(g, r.InMIS) != nil
+			vals[trial] = float64(r.Rounds)
+			exVals[trial] = float64(r.Rounds - w)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		invalid += countTrue(bad)
 		series.Points = append(series.Points, Point{
 			X: float64(w), Mean: stats.Mean(vals), Std: stats.StdDev(vals), Trials: trials,
 		})
@@ -217,7 +242,7 @@ func runFamilies(cfg Config) (*Result, error) {
 		series := Series{Name: fam.name}
 		for si, n := range ns {
 			n, fam := n, fam
-			pt, censored, err := sweepPoint(master, fi*1000+si, trials, 0, factory,
+			pt, censored, err := sweepPoint(cfg, master, fi*1000+si, trials, 0, factory,
 				func(src *rng.Source) *graph.Graph { return fam.gen(n, src) },
 				roundsMetric)
 			if err != nil {

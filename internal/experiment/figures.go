@@ -52,7 +52,7 @@ func runFig3(cfg Config) (*Result, error) {
 		}
 		series := Series{Name: algo.name}
 		for si, n := range ns {
-			pt, censored, err := sweepPoint(master, ai*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+			pt, censored, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", algo.name, n, err)
 			}
@@ -107,7 +107,7 @@ func runFig5(cfg Config) (*Result, error) {
 		}
 		series := Series{Name: algo.name}
 		for si, n := range ns {
-			pt, _, err := sweepPoint(master, ai*1000+si, trials, 0, factory, gnpHalf(n), beepsMetric)
+			pt, _, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory, gnpHalf(n), beepsMetric)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", algo.name, n, err)
 			}

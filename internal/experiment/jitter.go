@@ -48,7 +48,7 @@ func runAblateJitter(cfg Config) (*Result, error) {
 		}
 		series := Series{Name: variant.name}
 		for si, n := range ns {
-			pt, censored, err := sweepPoint(master, vi*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+			pt, censored, err := sweepPoint(cfg, master, vi*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", variant.name, n, err)
 			}
@@ -66,17 +66,19 @@ func runAblateJitter(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	invalid := 0
-	for trial := 0; trial < trials; trial++ {
+	bad := make([]bool, trials)
+	if err := forTrials(cfg.workers(), trials, func(trial int) error {
 		g := graph.GNP(200, 0.5, master.Stream(trialKey(9000, trial, 1)))
-		r, err := sim.Run(g, factory, master.Stream(trialKey(9000, trial, 2)), sim.Options{})
+		r, err := sim.Run(g, factory, master.Stream(trialKey(9000, trial, 2)), sim.Options{Engine: cfg.Engine})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if graph.VerifyMIS(g, r.InMIS) != nil {
-			invalid++
-		}
+		bad[trial] = graph.VerifyMIS(g, r.InMIS) != nil
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	invalid := countTrue(bad)
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("validity spot-check at n=200 under U[1.2,5]: %d/%d invalid (must be 0)", invalid, trials),
 		"paper §6: factors may vary between nodes and over time without losing O(log n)")

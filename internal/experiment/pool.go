@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves Config.Workers to the effective trial pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forTrials runs fn(trial) for every trial in [0, trials) on a bounded
+// pool of workers goroutines. On failure it stops handing out new trials
+// and returns the lowest-indexed error among the trials that ran.
+//
+// Determinism contract: trials are embarrassingly parallel because every
+// trial draws from its own rng streams (derived from the master seed and
+// the trial index, never from shared mutable state), and callers write
+// results into per-trial slots which they aggregate in index order after
+// the pool drains. Consequently the output is bit-identical for any
+// worker count, including the sequential workers == 1 path.
+func forTrials(workers, trials int, fn func(trial int) error) error {
+	if trials <= 0 {
+		return nil
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		for trial := 0; trial < trials; trial++ {
+			if err := fn(trial); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, trials)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				trial := int(next.Add(1)) - 1
+				if trial >= trials || failed.Load() {
+					return
+				}
+				if err := fn(trial); err != nil {
+					errs[trial] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countTrue counts set flags in a per-trial slot array — the
+// parallel-safe equivalent of incrementing a counter inside a
+// sequential trial loop.
+func countTrue(flags []bool) int {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// collectOK gathers, in trial order, the slot values whose ok flag is
+// set — the parallel-safe equivalent of conditionally appending inside a
+// sequential trial loop.
+func collectOK(slots []float64, ok []bool) []float64 {
+	vals := make([]float64, 0, len(slots))
+	for i, v := range slots {
+		if ok[i] {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}

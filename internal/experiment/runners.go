@@ -64,31 +64,40 @@ func trialKey(sizeIdx, trial, purpose int) uint64 {
 	return uint64(sizeIdx)<<40 | uint64(trial)<<8 | uint64(purpose)
 }
 
-// sweepPoint runs `trials` simulations at one sweep position and
-// aggregates metric over them. gen builds the trial's graph; metric maps
-// the simulation result to the measured quantity. A run that hits
-// maxRounds is recorded at the cap (censored), which the callers note.
+// sweepPoint runs `trials` simulations at one sweep position on the
+// bounded worker pool and aggregates metric over them. gen builds the
+// trial's graph; metric maps the simulation result to the measured
+// quantity. A run that hits maxRounds is recorded at the cap (censored),
+// which the callers note. Each trial draws from rng streams keyed by its
+// index and writes into its own slot, so the aggregate is bit-identical
+// for any worker count.
 func sweepPoint(
+	cfg Config,
 	master *rng.Source,
 	sizeIdx, trials, maxRounds int,
 	factory beep.Factory,
 	gen func(src *rng.Source) *graph.Graph,
 	metric func(res *sim.Result, g *graph.Graph) float64,
 ) (Point, int, error) {
-	vals := make([]float64, 0, trials)
-	censored := 0
-	for trial := 0; trial < trials; trial++ {
+	vals := make([]float64, trials)
+	capped := make([]bool, trials)
+	err := forTrials(cfg.workers(), trials, func(trial int) error {
 		g := gen(master.Stream(trialKey(sizeIdx, trial, 1)))
-		res, err := sim.Run(g, factory, master.Stream(trialKey(sizeIdx, trial, 2)), sim.Options{MaxRounds: maxRounds})
+		res, err := sim.Run(g, factory, master.Stream(trialKey(sizeIdx, trial, 2)),
+			sim.Options{MaxRounds: maxRounds, Engine: cfg.Engine})
 		if err != nil {
-			if errors.Is(err, sim.ErrTooManyRounds) {
-				censored++
-			} else {
-				return Point{}, 0, err
+			if !errors.Is(err, sim.ErrTooManyRounds) {
+				return err
 			}
+			capped[trial] = true
 		}
-		vals = append(vals, metric(res, g))
+		vals[trial] = metric(res, g)
+		return nil
+	})
+	if err != nil {
+		return Point{}, 0, err
 	}
+	censored := countTrue(capped)
 	return Point{
 		Mean:   stats.Mean(vals),
 		Std:    stats.StdDev(vals),

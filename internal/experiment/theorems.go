@@ -46,7 +46,7 @@ func runThm1(cfg Config) (*Result, error) {
 		series := Series{Name: algo.name}
 		for si, n := range ns {
 			n := n
-			pt, censored, err := sweepPoint(master, ai*1000+si, trials, 0, factory,
+			pt, censored, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory,
 				func(*rng.Source) *graph.Graph { return graph.CliqueFamily(n) },
 				roundsMetric)
 			if err != nil {
@@ -85,7 +85,7 @@ func runThm6(cfg Config) (*Result, error) {
 	gnpSizes := cfg.sizes(intRange(25, 200, 25))
 	gnpSeries := Series{Name: "gnp-half"}
 	for si, n := range gnpSizes {
-		pt, _, err := sweepPoint(master, si, trials, 0, factory, gnpHalf(n), beepsMetric)
+		pt, _, err := sweepPoint(cfg, master, si, trials, 0, factory, gnpHalf(n), beepsMetric)
 		if err != nil {
 			return nil, fmt.Errorf("gnp n=%d: %w", n, err)
 		}
@@ -105,7 +105,7 @@ func runThm6(cfg Config) (*Result, error) {
 		if cfg.MaxN > 0 && k*k > cfg.MaxN {
 			continue
 		}
-		pt, _, err := sweepPoint(master, 1000+si, trials, 0, factory,
+		pt, _, err := sweepPoint(cfg, master, 1000+si, trials, 0, factory,
 			func(*rng.Source) *graph.Graph { return graph.Grid(k, k) },
 			beepsMetric)
 		if err != nil {

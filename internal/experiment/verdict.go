@@ -41,26 +41,43 @@ func Verdict(cfg Config) ([]Check, error) {
 		return nil, err
 	}
 
+	type gnpTrial struct {
+		fbRounds, swRounds, fbBeeps float64
+		invalid                     bool
+	}
+	gnpTrials := make([]gnpTrial, trials)
+	err = forTrials(cfg.workers(), trials, func(trial int) error {
+		g := graph.GNP(n, 0.5, master.Stream(trialKey(1, trial, 1)))
+		fb, err := sim.Run(g, feedback, master.Stream(trialKey(1, trial, 2)), sim.Options{Engine: cfg.Engine})
+		if err != nil {
+			return fmt.Errorf("verdict feedback: %w", err)
+		}
+		sw, err := sim.Run(g, sweep, master.Stream(trialKey(1, trial, 3)), sim.Options{Engine: cfg.Engine})
+		if err != nil {
+			return fmt.Errorf("verdict sweep: %w", err)
+		}
+		gnpTrials[trial] = gnpTrial{
+			fbRounds: float64(fb.Rounds),
+			swRounds: float64(sw.Rounds),
+			fbBeeps:  fb.MeanBeepsPerNode(),
+			invalid:  graph.VerifyMIS(g, fb.InMIS) != nil,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var (
 		fbRounds, swRounds, fbBeeps float64
 		invalid                     int
 	)
-	for trial := 0; trial < trials; trial++ {
-		g := graph.GNP(n, 0.5, master.Stream(trialKey(1, trial, 1)))
-		fb, err := sim.Run(g, feedback, master.Stream(trialKey(1, trial, 2)), sim.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("verdict feedback: %w", err)
-		}
-		if graph.VerifyMIS(g, fb.InMIS) != nil {
+	for _, tr := range gnpTrials {
+		fbRounds += tr.fbRounds
+		swRounds += tr.swRounds
+		fbBeeps += tr.fbBeeps
+		if tr.invalid {
 			invalid++
 		}
-		sw, err := sim.Run(g, sweep, master.Stream(trialKey(1, trial, 3)), sim.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("verdict sweep: %w", err)
-		}
-		fbRounds += float64(fb.Rounds)
-		swRounds += float64(sw.Rounds)
-		fbBeeps += fb.MeanBeepsPerNode()
 	}
 	fbRounds /= float64(trials)
 	swRounds /= float64(trials)
@@ -69,18 +86,28 @@ func Verdict(cfg Config) ([]Check, error) {
 
 	// Theorem 1 family gap at a fixed size.
 	cf := graph.CliqueFamily(936)
+	cfFbSlots := make([]float64, trials)
+	cfSwSlots := make([]float64, trials)
+	err = forTrials(cfg.workers(), trials, func(trial int) error {
+		a, err := sim.Run(cf, feedback, master.Stream(trialKey(2, trial, 1)), sim.Options{Engine: cfg.Engine})
+		if err != nil {
+			return err
+		}
+		b, err := sim.Run(cf, sweep, master.Stream(trialKey(2, trial, 2)), sim.Options{Engine: cfg.Engine})
+		if err != nil {
+			return err
+		}
+		cfFbSlots[trial] = float64(a.Rounds)
+		cfSwSlots[trial] = float64(b.Rounds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var cfFb, cfSw float64
 	for trial := 0; trial < trials; trial++ {
-		a, err := sim.Run(cf, feedback, master.Stream(trialKey(2, trial, 1)), sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		b, err := sim.Run(cf, sweep, master.Stream(trialKey(2, trial, 2)), sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		cfFb += float64(a.Rounds)
-		cfSw += float64(b.Rounds)
+		cfFb += cfFbSlots[trial]
+		cfSw += cfSwSlots[trial]
 	}
 	cfFb /= float64(trials)
 	cfSw /= float64(trials)

@@ -1,0 +1,158 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers packed
+// 64 per word, the substrate of the word-parallel simulation engine: one
+// bitwise operation combines membership information for 64 vertices at
+// once. The zero value is an empty set of capacity 0; use NewBitset for
+// a set over [0, n).
+type Bitset []uint64
+
+// bitsetWords returns the number of 64-bit words needed for n bits.
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
+// NewBitset returns an empty bitset with capacity for elements [0, n).
+func NewBitset(n int) Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return make(Bitset, bitsetWords(n))
+}
+
+// Set adds i to the set. i must be within the capacity.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set. i must be within the capacity.
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether i is in the set. i must be within the capacity.
+func (b Bitset) Test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Zero empties the set in place.
+func (b Bitset) Zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Count returns the number of elements in the set.
+func (b Bitset) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether the set is non-empty.
+func (b Bitset) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Or adds every element of other to b. The sets must have equal capacity.
+func (b Bitset) Or(other Bitset) {
+	for i, w := range other {
+		b[i] |= w
+	}
+}
+
+// AndNot removes every element of other from b. The sets must have equal
+// capacity.
+func (b Bitset) AndNot(other Bitset) {
+	for i, w := range other {
+		b[i] &^= w
+	}
+}
+
+// ForEach calls fn for every element of the set in increasing order. It
+// walks words and extracts set bits with trailing-zero counts, so the
+// cost is proportional to the capacity in words plus the population, not
+// the capacity in bits.
+func (b Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// AdjacencyMatrix is the graph's adjacency relation as packed row
+// bitsets: row v has bit w set iff {v, w} is an edge. It trades O(n²/8)
+// bytes of memory for word-parallel neighbourhood operations — OR-ing a
+// row into an accumulator informs 64 listeners per machine instruction,
+// which is what makes the bitset simulation engine fast on dense graphs.
+type AdjacencyMatrix struct {
+	n     int
+	words int      // words per row
+	rows  []uint64 // n*words, row-major
+}
+
+// NewAdjacencyMatrix builds the packed adjacency representation of g
+// from its CSR form. Cost: O(n²/64) words of memory, O(n²/64 + m) time.
+// For repeated simulations on the same graph prefer Graph.Matrix, which
+// builds once and caches.
+func NewAdjacencyMatrix(g *Graph) *AdjacencyMatrix {
+	n := g.N()
+	words := bitsetWords(n)
+	m := &AdjacencyMatrix{n: n, words: words, rows: make([]uint64, n*words)}
+	for v := 0; v < n; v++ {
+		row := m.rows[v*words : (v+1)*words]
+		for _, w := range g.Neighbors(v) {
+			row[w>>6] |= 1 << (uint(w) & 63)
+		}
+	}
+	return m
+}
+
+// MatrixBytes returns the memory an AdjacencyMatrix for an n-vertex
+// graph would occupy, without building it. The engine auto-selection
+// heuristic uses this to refuse representations that would not fit.
+func MatrixBytes(n int) int64 {
+	return int64(n) * int64(bitsetWords(n)) * 8
+}
+
+// N returns the number of vertices.
+func (m *AdjacencyMatrix) N() int { return m.n }
+
+// Words returns the number of 64-bit words per row.
+func (m *AdjacencyMatrix) Words() int { return m.words }
+
+// Row returns vertex v's neighbourhood as a bitset sharing the matrix's
+// storage; it must not be modified.
+func (m *AdjacencyMatrix) Row(v int) Bitset {
+	return Bitset(m.rows[v*m.words : (v+1)*m.words])
+}
+
+// OrRowInto ORs vertex v's neighbourhood row into dst, which must have
+// capacity n. This is the engine's inner loop: one call delivers v's
+// beep to all its neighbours, 64 of them per word operation.
+func (m *AdjacencyMatrix) OrRowInto(dst Bitset, v int) {
+	row := m.rows[v*m.words : (v+1)*m.words]
+	for i, w := range row {
+		dst[i] |= w
+	}
+}
+
+// HasEdge reports whether the edge {u, v} is present.
+func (m *AdjacencyMatrix) HasEdge(u, v int) bool {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		return false
+	}
+	return m.Row(u).Test(v)
+}
+
+// Matrix returns g's packed adjacency-matrix representation, building it
+// on first use and caching it for the graph's lifetime. Safe for
+// concurrent callers, like all Graph readers.
+func (g *Graph) Matrix() *AdjacencyMatrix {
+	g.matOnce.Do(func() { g.mat = NewAdjacencyMatrix(g) })
+	return g.mat
+}

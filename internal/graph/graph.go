@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is a simple undirected graph on vertices 0..N()-1. The zero value
@@ -20,6 +21,12 @@ type Graph struct {
 	// memory on large simulations; vertex counts here never exceed 2^31.
 	adj [][]int32
 	m   int // number of edges
+
+	// mat is the lazily built packed adjacency-matrix form used by the
+	// bitset simulation engine; matOnce guards its one-time construction
+	// so concurrent readers stay safe.
+	matOnce sync.Once
+	mat     *AdjacencyMatrix
 }
 
 // ErrVertexRange indicates a vertex index outside [0, N).

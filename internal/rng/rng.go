@@ -59,6 +59,11 @@ func (s *Source) Reseed(seed uint64) {
 // the same (seed, id) pair always yields the same stream, no matter how
 // far s has advanced. This is how each simulated node gets its own private
 // randomness, insensitive to goroutine scheduling order.
+//
+// Because derivation reads only the immutable origin seed, Stream may be
+// called concurrently from many goroutines (absent a concurrent Reseed);
+// the experiment trial pool leans on this to hand every parallel trial
+// its own deterministic streams.
 func (s *Source) Stream(id uint64) *Source {
 	// Mix the origin seed (not the mutable state) with the stream id
 	// through SplitMix64 so derivation is a pure function of (seed, id).

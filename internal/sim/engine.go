@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+
+	"beepmis/internal/graph"
+)
+
+// Engine selects the implementation of the simulator's neighbourhood
+// exchanges. Every engine executes the same algorithm state machine and
+// draws node randomness from the same per-node streams, so results are
+// bit-identical across engines for a given (graph, factory, seed, opts);
+// engines differ only in how fast they deliver beeps.
+type Engine uint8
+
+const (
+	// EngineAuto picks EngineBitset when the graph is dense enough for
+	// word-parallel delivery to win and its packed adjacency matrix fits
+	// the memory budget, EngineScalar otherwise. This is the default.
+	EngineAuto Engine = iota
+	// EngineScalar delivers beeps by walking CSR adjacency lists
+	// edge-by-edge: O(Σ deg(beeper)) per round, no extra memory. The
+	// only engine that supports BeepLoss (loss is drawn per edge).
+	EngineScalar
+	// EngineBitset delivers beeps with packed row bitsets: one OR
+	// operation informs 64 listeners, so a round costs
+	// O(beepers · n/64) words. Requires O(n²/8) bytes for the matrix
+	// and does not support BeepLoss.
+	EngineBitset
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineScalar:
+		return "scalar"
+	case EngineBitset:
+		return "bitset"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine converts a command-line engine name to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "scalar":
+		return EngineScalar, nil
+	case "bitset":
+		return EngineBitset, nil
+	default:
+		return EngineAuto, fmt.Errorf("sim: unknown engine %q (want auto, scalar, or bitset)", s)
+	}
+}
+
+// maxAutoMatrixBytes caps the adjacency-matrix memory EngineAuto will
+// spend: 2 GiB covers n = 10⁵ (1.25 GiB) with headroom and refuses the
+// n ≥ 10⁶ regime, where the matrix alone would be 125 GiB. An explicit
+// EngineBitset request is honoured regardless — the caller knows their
+// machine.
+const maxAutoMatrixBytes = int64(2) << 30
+
+// bitsetWorthwhile is EngineAuto's density/size heuristic. Per emitting
+// node a bitset round costs ⌈n/64⌉ word ORs against deg(v) random
+// writes for the scalar walk, so the break-even density is an average
+// degree of about n/64; word ops are cheaper than scattered writes, so
+// the threshold takes half that. Tiny graphs always qualify — the
+// matrix is a few cache lines.
+func bitsetWorthwhile(g *graph.Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return false
+	}
+	if graph.MatrixBytes(n) > maxAutoMatrixBytes {
+		return false
+	}
+	if n <= 1024 {
+		return true
+	}
+	words := float64((n + 63) / 64)
+	return g.AvgDegree() >= words/2
+}
+
+// propagator delivers one exchange: dst[w] becomes true for every w
+// adjacent to a vertex with emit[v] true. dst is all-false on entry.
+// Loss-free by contract — the lossy first exchange stays in Run, where
+// per-edge fault draws keep their deterministic order.
+type propagator interface {
+	propagate(emit, dst []bool)
+}
+
+// scalarPropagator walks CSR adjacency lists.
+type scalarPropagator struct{ g *graph.Graph }
+
+func (p scalarPropagator) propagate(emit, dst []bool) {
+	for v, e := range emit {
+		if !e {
+			continue
+		}
+		for _, w := range p.g.Neighbors(v) {
+			dst[w] = true
+		}
+	}
+}
+
+// bitsetPropagator ORs packed adjacency rows: 64 listeners per word
+// operation. Scratch bitsets are reused across rounds.
+type bitsetPropagator struct {
+	mat      *graph.AdjacencyMatrix
+	emitBits graph.Bitset
+	dstBits  graph.Bitset
+}
+
+func newBitsetPropagator(g *graph.Graph) *bitsetPropagator {
+	return &bitsetPropagator{
+		mat:      g.Matrix(),
+		emitBits: graph.NewBitset(g.N()),
+		dstBits:  graph.NewBitset(g.N()),
+	}
+}
+
+func (p *bitsetPropagator) propagate(emit, dst []bool) {
+	p.emitBits.Zero()
+	for v, e := range emit {
+		if e {
+			p.emitBits.Set(v)
+		}
+	}
+	p.dstBits.Zero()
+	p.emitBits.ForEach(func(v int) { p.mat.OrRowInto(p.dstBits, v) })
+	p.dstBits.ForEach(func(w int) { dst[w] = true })
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+)
+
+// runBoth executes the same configuration on the scalar and bitset
+// engines and returns both results.
+func runBoth(t *testing.T, g *graph.Graph, spec mis.Spec, seed uint64, opts Options) (*Result, *Result) {
+	t.Helper()
+	factory, err := mis.NewFactory(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = EngineScalar
+	scalar, err := Run(g, factory, rng.New(seed), opts)
+	if err != nil {
+		t.Fatalf("scalar engine: %v", err)
+	}
+	opts.Engine = EngineBitset
+	bitset, err := Run(g, factory, rng.New(seed), opts)
+	if err != nil {
+		t.Fatalf("bitset engine: %v", err)
+	}
+	return scalar, bitset
+}
+
+// assertIdentical fails unless the two results agree on every field the
+// engines promise to reproduce bit-for-bit.
+func assertIdentical(t *testing.T, scalar, bitset *Result) {
+	t.Helper()
+	if scalar.Rounds != bitset.Rounds {
+		t.Fatalf("rounds differ: scalar %d, bitset %d", scalar.Rounds, bitset.Rounds)
+	}
+	if scalar.TotalBeeps != bitset.TotalBeeps {
+		t.Fatalf("total beeps differ: scalar %d, bitset %d", scalar.TotalBeeps, bitset.TotalBeeps)
+	}
+	if scalar.JoinAnnouncements != bitset.JoinAnnouncements {
+		t.Fatalf("join announcements differ: scalar %d, bitset %d",
+			scalar.JoinAnnouncements, bitset.JoinAnnouncements)
+	}
+	if scalar.PersistentBeeps != bitset.PersistentBeeps {
+		t.Fatalf("persistent beeps differ: scalar %d, bitset %d",
+			scalar.PersistentBeeps, bitset.PersistentBeeps)
+	}
+	if scalar.Terminated != bitset.Terminated {
+		t.Fatalf("termination differs: scalar %v, bitset %v", scalar.Terminated, bitset.Terminated)
+	}
+	for v := range scalar.InMIS {
+		if scalar.InMIS[v] != bitset.InMIS[v] {
+			t.Fatalf("MIS membership differs at vertex %d", v)
+		}
+		if scalar.States[v] != bitset.States[v] {
+			t.Fatalf("state differs at vertex %d: scalar %v, bitset %v",
+				v, scalar.States[v], bitset.States[v])
+		}
+		if scalar.Beeps[v] != bitset.Beeps[v] {
+			t.Fatalf("beep count differs at vertex %d: scalar %d, bitset %d",
+				v, scalar.Beeps[v], bitset.Beeps[v])
+		}
+	}
+}
+
+func TestEngineEquivalencePureModel(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp-200", graph.GNP(200, 0.5, rng.New(1))},
+		{"gnp-sparse-300", graph.GNP(300, 0.02, rng.New(2))},
+		{"grid-13x13", graph.Grid(13, 13)},
+		{"complete-100", graph.Complete(100)},
+		{"cliquefamily-343", graph.CliqueFamily(343)},
+		{"unitdisk-250", graph.UnitDisk(250, 0.12, rng.New(3))},
+		{"path-65", graph.Path(65)},
+		{"isolated-70", graph.Empty(70)},
+	}
+	specs := []mis.Spec{
+		{Name: mis.NameFeedback},
+		{Name: mis.NameGlobalSweep},
+		{Name: mis.NameAfek},
+	}
+	for _, tg := range graphs {
+		for _, spec := range specs {
+			for seed := uint64(0); seed < 3; seed++ {
+				scalar, bitset := runBoth(t, tg.g, spec, seed, Options{})
+				assertIdentical(t, scalar, bitset)
+				if err := graph.VerifyMIS(tg.g, scalar.InMIS); err != nil {
+					t.Fatalf("%s/%s/seed=%d: invalid MIS: %v", tg.name, spec.Name, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineEquivalenceWakeup covers the persistent-beep path: staggered
+// wake-ups make MIS members keep beeping, which both engines must
+// deliver identically.
+func TestEngineEquivalenceWakeup(t *testing.T) {
+	g := graph.GNP(150, 0.3, rng.New(5))
+	wakeSrc := rng.New(99)
+	wake := make([]int, g.N())
+	for v := range wake {
+		wake[v] = 1 + wakeSrc.Intn(20)
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		scalar, bitset := runBoth(t, g, mis.Spec{Name: mis.NameFeedback}, seed, Options{WakeAt: wake})
+		assertIdentical(t, scalar, bitset)
+		if scalar.PersistentBeeps == 0 {
+			t.Fatal("wake-up run produced no persistent beeps; test is not covering the persist path")
+		}
+	}
+}
+
+// TestEngineEquivalenceCrashes covers mid-run node crashes.
+func TestEngineEquivalenceCrashes(t *testing.T) {
+	g := graph.GNP(120, 0.4, rng.New(6))
+	crashes := map[int][]int{2: {0, 5, 17}, 4: {40, 41}}
+	scalar, bitset := runBoth(t, g, mis.Spec{Name: mis.NameFeedback}, 7, Options{CrashAtRound: crashes})
+	assertIdentical(t, scalar, bitset)
+}
+
+// TestEngineAutoMatchesForced pins the auto engine to the same results
+// as both forced engines.
+func TestEngineAutoMatchesForced(t *testing.T) {
+	g := graph.GNP(180, 0.5, rng.New(8))
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Run(g, factory, rng.New(11), Options{Engine: EngineAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, bitset := runBoth(t, g, mis.Spec{Name: mis.NameFeedback}, 11, Options{})
+	assertIdentical(t, auto, scalar)
+	assertIdentical(t, auto, bitset)
+}
+
+func TestEngineBitsetRejectsBeepLoss(t *testing.T) {
+	g := graph.GNP(50, 0.5, rng.New(1))
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(g, factory, rng.New(1), Options{Engine: EngineBitset, BeepLoss: 0.1})
+	if err == nil || !strings.Contains(err.Error(), "BeepLoss") {
+		t.Fatalf("bitset engine with loss: got err %v, want BeepLoss rejection", err)
+	}
+	// Auto must silently fall back to scalar and succeed.
+	if _, err := Run(g, factory, rng.New(1), Options{Engine: EngineAuto, BeepLoss: 0.1}); err != nil {
+		t.Fatalf("auto engine with loss: %v", err)
+	}
+}
+
+func TestBitsetWorthwhile(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"empty", graph.Empty(0), false},
+		{"tiny-sparse", graph.Path(100), true},     // ≤1024 vertices: always
+		{"small-dense", graph.Complete(800), true}, // ≤1024 vertices: always
+		{"mid-dense", graph.GNP(4000, 0.5, rng.New(1)), true},
+		{"mid-sparse", graph.GNP(5000, 0.001, rng.New(2)), false}, // deg ≈ 5 « words/2 ≈ 39
+	}
+	for _, tc := range tests {
+		if got := bitsetWorthwhile(tc.g); got != tc.want {
+			t.Errorf("%s: bitsetWorthwhile = %v, want %v (n=%d avgdeg=%.1f)",
+				tc.name, got, tc.want, tc.g.N(), tc.g.AvgDegree())
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"auto", EngineAuto, true},
+		{"", EngineAuto, true},
+		{"scalar", EngineScalar, true},
+		{"bitset", EngineBitset, true},
+		{"simd", EngineAuto, false},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset} {
+		rt, err := ParseEngine(e.String())
+		if err != nil || rt != e {
+			t.Errorf("round-trip %v failed: %v, %v", e, rt, err)
+		}
+	}
+}
+
+// TestEnginesUnderTraceHook checks the per-round snapshots agree between
+// engines, not just the final results.
+func TestEnginesUnderTraceHook(t *testing.T) {
+	g := graph.GNP(90, 0.3, rng.New(4))
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type roundView struct {
+		beeped []bool
+		states []beep.State
+		active int
+	}
+	capture := func(engine Engine) []roundView {
+		var views []roundView
+		_, err := Run(g, factory, rng.New(21), Options{
+			Engine: engine,
+			OnRound: func(s Snapshot) {
+				views = append(views, roundView{
+					beeped: append([]bool(nil), s.Beeped...),
+					states: append([]beep.State(nil), s.States...),
+					active: s.Active,
+				})
+			},
+		})
+		if err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		return views
+	}
+	sv, bv := capture(EngineScalar), capture(EngineBitset)
+	if len(sv) != len(bv) {
+		t.Fatalf("round counts differ: scalar %d, bitset %d", len(sv), len(bv))
+	}
+	for r := range sv {
+		if sv[r].active != bv[r].active {
+			t.Fatalf("round %d active differs: %d vs %d", r+1, sv[r].active, bv[r].active)
+		}
+		for v := range sv[r].beeped {
+			if sv[r].beeped[v] != bv[r].beeped[v] || sv[r].states[v] != bv[r].states[v] {
+				t.Fatalf("round %d vertex %d snapshot differs", r+1, v)
+			}
+		}
+	}
+}

@@ -10,6 +10,13 @@
 // loss on the first exchange, node crashes at chosen rounds) and a
 // per-round trace hook, used by the robustness experiments and the
 // visualising examples.
+//
+// Two interchangeable engines execute the exchanges: a scalar engine
+// that walks adjacency lists edge-by-edge, and a word-parallel bitset
+// engine that ORs packed adjacency rows, delivering beeps to 64
+// listeners per machine operation. Options.Engine selects one;
+// EngineAuto (the default) picks by graph density and size. Engines are
+// bit-identical in their results — only the wall clock differs.
 package sim
 
 import (
@@ -60,6 +67,11 @@ type Snapshot struct {
 type Options struct {
 	// MaxRounds caps the number of time steps; 0 means DefaultMaxRounds.
 	MaxRounds int
+	// Engine selects the exchange implementation (see Engine). The
+	// default, EngineAuto, picks the bitset engine on graphs dense
+	// enough for word-parallel delivery to win. Results are identical
+	// for every engine on a given seed.
+	Engine Engine
 	// BeepLoss is the probability that a given neighbour fails to hear a
 	// given beep in the first exchange (each beeper→listener pair drawn
 	// independently). Join announcements (second exchange) are assumed
@@ -123,6 +135,25 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	if opts.BeepLoss < 0 || opts.BeepLoss >= 1 {
 		return nil, fmt.Errorf("sim: beep loss %v outside [0,1)", opts.BeepLoss)
 	}
+	engine := opts.Engine
+	switch engine {
+	case EngineAuto:
+		engine = EngineScalar
+		if opts.BeepLoss == 0 && bitsetWorthwhile(g) {
+			engine = EngineBitset
+		}
+	case EngineScalar:
+	case EngineBitset:
+		if opts.BeepLoss > 0 {
+			// Loss is drawn per (beeper, listener) edge in adjacency
+			// order; a word-parallel exchange has no per-edge step to
+			// draw it in, so the combination is refused rather than
+			// silently changing the random sequence.
+			return nil, fmt.Errorf("sim: engine %v does not support BeepLoss (use scalar or auto)", engine)
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %v", engine)
+	}
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
@@ -159,9 +190,14 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	heard := make([]bool, n)
 	joined := make([]bool, n)
 	neighborJoined := make([]bool, n)
-	var persist []bool
+	var prop propagator = scalarPropagator{g}
+	if engine == EngineBitset {
+		prop = newBitsetPropagator(g)
+	}
+	var persist, emit []bool
 	if wake != nil {
 		persist = make([]bool, n)
+		emit = make([]bool, n) // scratch emitter mask: beeped/joined ∪ persist
 	}
 	awake := func(v, round int) bool { return wake == nil || round >= wake[v] }
 	var probs []float64 // lazily allocated snapshot buffer
@@ -198,16 +234,30 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 			}
 		}
 		// Propagate beeps to neighbours (with optional loss per listener).
-		for v := 0; v < n; v++ {
-			if !beeped[v] && (persist == nil || !persist[v]) {
-				continue
+		emitters := beeped
+		if persist != nil {
+			for v := 0; v < n; v++ {
+				emit[v] = beeped[v] || persist[v]
 			}
-			for _, w := range g.Neighbors(v) {
-				if faultSrc != nil && faultSrc.Bernoulli(opts.BeepLoss) {
+			emitters = emit
+		}
+		if faultSrc != nil {
+			// Lossy exchange: fault draws happen per (beeper, listener)
+			// edge in adjacency order, so this path is scalar by
+			// construction (EngineBitset refuses BeepLoss).
+			for v := 0; v < n; v++ {
+				if !emitters[v] {
 					continue
 				}
-				heard[w] = true
+				for _, w := range g.Neighbors(v) {
+					if faultSrc.Bernoulli(opts.BeepLoss) {
+						continue
+					}
+					heard[w] = true
+				}
 			}
+		} else {
+			prop.propagate(emitters, heard)
 		}
 		// Join rule: beeped into (perceived) silence.
 		for v := 0; v < n; v++ {
@@ -218,16 +268,18 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 		// Second exchange: join announcements (reliable). Persistent MIS
 		// members re-announce so nodes waking later still get dominated.
 		for v := 0; v < n; v++ {
-			if !joined[v] && (persist == nil || !persist[v]) {
-				continue
-			}
 			if joined[v] && g.Degree(v) > 0 {
 				res.JoinAnnouncements++
 			}
-			for _, w := range g.Neighbors(v) {
-				neighborJoined[w] = true
-			}
 		}
+		announcers := joined
+		if persist != nil {
+			for v := 0; v < n; v++ {
+				emit[v] = joined[v] || persist[v]
+			}
+			announcers = emit
+		}
+		prop.propagate(announcers, neighborJoined)
 		// State transitions and feedback.
 		for v := 0; v < n; v++ {
 			if res.States[v] != beep.StateActive || !awake(v, round) {
