@@ -90,6 +90,12 @@ const (
 	// EngineBitset delivers beeps via packed adjacency-row bitsets, 64
 	// listeners per word operation (O(n²/8) bytes of memory).
 	EngineBitset = sim.EngineBitset
+	// EngineColumnar runs the whole round loop on packed words: a bulk
+	// algorithm kernel draws beeps from struct-of-arrays state, node
+	// masks are bitsets end-to-end, and propagation is sharded across
+	// cores (see WithShards). The fastest engine for every algorithm
+	// that has a kernel; EngineAuto picks it whenever it applies.
+	EngineColumnar = sim.EngineColumnar
 )
 
 // Algorithm selects an MIS algorithm.
@@ -167,6 +173,7 @@ type solveOptions struct {
 	feedback   FeedbackConfig
 	concurrent bool
 	engine     Engine
+	shards     int
 }
 
 // Option customises Solve.
@@ -195,6 +202,16 @@ func WithFeedbackConfig(cfg FeedbackConfig) Option {
 // goroutine-per-node runtime has no simulator engine to pin.
 func WithEngine(e Engine) Option {
 	return func(o *solveOptions) { o.engine = e }
+}
+
+// WithShards bounds the goroutines the columnar engine fans beep
+// propagation out to; 0 (the default) uses all cores and 1 keeps
+// propagation serial. Results are bit-identical for every value — shard
+// workers own disjoint destination word ranges — so this is purely a
+// performance knob. Combining a non-zero value with
+// WithConcurrentEngine is an error, as is pinning a non-columnar engine.
+func WithShards(shards int) Option {
+	return func(o *solveOptions) { o.shards = shards }
 }
 
 // WithConcurrentEngine runs beeping algorithms on the goroutine-per-node
@@ -230,7 +247,7 @@ func Solve(g *Graph, algo Algorithm, opts ...Option) (*Result, error) {
 		}
 		return &Result{InMIS: lr.InMIS, Rounds: lr.Rounds, MessageBits: lr.Bits}, nil
 	case AlgorithmFeedback, AlgorithmGlobalSweep, AlgorithmAfekOriginal:
-		factory, err := mis.NewFactory(mis.Spec{Name: string(algo), Feedback: o.feedback})
+		factory, bulk, err := mis.NewFactories(mis.Spec{Name: string(algo), Feedback: o.feedback})
 		if err != nil {
 			return nil, err
 		}
@@ -238,13 +255,24 @@ func Solve(g *Graph, algo Algorithm, opts ...Option) (*Result, error) {
 			if o.engine != EngineAuto {
 				return nil, fmt.Errorf("beepmis: WithEngine(%v) conflicts with WithConcurrentEngine (the goroutine-per-node runtime has no simulator engine)", o.engine)
 			}
+			if o.shards != 0 {
+				return nil, fmt.Errorf("beepmis: WithShards(%d) conflicts with WithConcurrentEngine (sharded propagation belongs to the columnar simulator engine)", o.shards)
+			}
 			rr, err := runtime.Run(g, factory, rng.New(o.seed), runtime.Options{MaxRounds: o.maxRounds})
 			if err != nil {
 				return nil, err
 			}
 			return &Result{InMIS: rr.InMIS, Rounds: rr.Rounds, TotalBeeps: rr.TotalBeeps}, nil
 		}
-		sr, err := sim.Run(g, factory, rng.New(o.seed), sim.Options{MaxRounds: o.maxRounds, Engine: o.engine})
+		if o.shards != 0 && o.engine != EngineAuto && o.engine != EngineColumnar {
+			return nil, fmt.Errorf("beepmis: WithShards(%d) conflicts with WithEngine(%v) (only the columnar engine shards propagation)", o.shards, o.engine)
+		}
+		sr, err := sim.Run(g, factory, rng.New(o.seed), sim.Options{
+			MaxRounds: o.maxRounds,
+			Engine:    o.engine,
+			Bulk:      bulk,
+			Shards:    o.shards,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -178,13 +178,13 @@ func BenchmarkEngineConcurrent(b *testing.B) {
 }
 
 // Engine scaling — the scalar adjacency-walk engine against the
-// word-parallel bitset engine on large dense graphs, where one OR
-// delivers a beep to 64 listeners at once. The two engines produce
-// bit-identical results (see TestEngineEquivalence); these benchmarks
-// quantify the wall-clock gap at n ≥ 10⁵, far beyond the paper's
-// n ≤ 1000 evaluation sizes. Graphs are generated once per process and
-// the bitset engine's adjacency matrix is built outside the timer, so
-// the measurement isolates the simulation loop.
+// word-parallel bitset engine and the columnar kernel engine on large
+// dense graphs, where one OR delivers a beep to 64 listeners at once.
+// All engines produce bit-identical results (see TestEngineEquivalence);
+// these benchmarks quantify the wall-clock gaps at n ≥ 10⁵, far beyond
+// the paper's n ≤ 1000 evaluation sizes. Graphs are generated once per
+// process and the packed adjacency matrix is built outside the timer,
+// so the measurement isolates the simulation loop.
 var (
 	gnp100kOnce sync.Once
 	gnp100k     *graph.Graph
@@ -206,19 +206,23 @@ func gnp20kDenseGraph() *graph.Graph {
 	return gnp20k
 }
 
-func benchEngine(b *testing.B, g *graph.Graph, engine sim.Engine) {
+func benchEngine(b *testing.B, g *graph.Graph, engine sim.Engine, shards int) {
 	b.Helper()
-	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		b.Fatal(err)
 	}
-	if engine == sim.EngineBitset {
+	opts := sim.Options{Engine: engine, Shards: shards}
+	if engine != sim.EngineScalar {
 		g.Matrix() // build (and cache) the packed rows outside the timer
+	}
+	if engine == sim.EngineColumnar {
+		opts.Bulk = bulk
 	}
 	var rounds float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(g, factory, rng.New(uint64(i)), sim.Options{Engine: engine})
+		res, err := sim.Run(g, factory, rng.New(uint64(i)), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -228,19 +232,38 @@ func benchEngine(b *testing.B, g *graph.Graph, engine sim.Engine) {
 }
 
 func BenchmarkEngineScalarGNP100k(b *testing.B) {
-	benchEngine(b, gnp100kGraph(), sim.EngineScalar)
+	benchEngine(b, gnp100kGraph(), sim.EngineScalar, 0)
 }
 
 func BenchmarkEngineBitsetGNP100k(b *testing.B) {
-	benchEngine(b, gnp100kGraph(), sim.EngineBitset)
+	benchEngine(b, gnp100kGraph(), sim.EngineBitset, 0)
+}
+
+// The columnar engine at one shard isolates the kernel-fusion and
+// bitset-round-loop win over EngineBitset; the sharded variant adds
+// multi-core propagation on top.
+func BenchmarkEngineColumnarGNP100k(b *testing.B) {
+	benchEngine(b, gnp100kGraph(), sim.EngineColumnar, 1)
+}
+
+func BenchmarkEngineColumnarShardedGNP100k(b *testing.B) {
+	benchEngine(b, gnp100kGraph(), sim.EngineColumnar, 0)
 }
 
 func BenchmarkEngineScalarGNP20kDense(b *testing.B) {
-	benchEngine(b, gnp20kDenseGraph(), sim.EngineScalar)
+	benchEngine(b, gnp20kDenseGraph(), sim.EngineScalar, 0)
 }
 
 func BenchmarkEngineBitsetGNP20kDense(b *testing.B) {
-	benchEngine(b, gnp20kDenseGraph(), sim.EngineBitset)
+	benchEngine(b, gnp20kDenseGraph(), sim.EngineBitset, 0)
+}
+
+func BenchmarkEngineColumnarGNP20kDense(b *testing.B) {
+	benchEngine(b, gnp20kDenseGraph(), sim.EngineColumnar, 1)
+}
+
+func BenchmarkEngineColumnarShardedGNP20kDense(b *testing.B) {
+	benchEngine(b, gnp20kDenseGraph(), sim.EngineColumnar, 0)
 }
 
 // Centralised baseline — the trivial sequential scan from §1.

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+	"beepmis/internal/sim"
+)
+
+// benchRecord is one engine measurement of the -bench mode, emitted as
+// JSON with -json so the benchmark trajectory can be tracked across
+// revisions by machines rather than by reading prose.
+type benchRecord struct {
+	Engine     string  `json:"engine"`
+	Shards     int     `json:"shards"`
+	N          int     `json:"n"`
+	P          float64 `json:"p"`
+	Runs       int     `json:"runs"`
+	Rounds     float64 `json:"rounds"`
+	Beeps      float64 `json:"beeps"`
+	NsPerRound float64 `json:"ns_per_round"`
+	NsPerRun   float64 `json:"ns_per_run"`
+}
+
+// runEngineBench times whole simulation runs of the feedback algorithm
+// on G(n, p) per engine. With engine == EngineAuto every engine is
+// measured (the columnar one at the requested shard bound); a pin
+// measures just that engine. Results of all engines are seed-identical —
+// the benchmark varies only the wall clock, which is the point.
+func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine sim.Engine, shards int, asJSON bool) error {
+	if n <= 0 || runs <= 0 {
+		return fmt.Errorf("bench needs positive -benchn and -benchruns (got %d, %d)", n, runs)
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("bench edge probability %v outside [0,1]", p)
+	}
+	g := graph.GNP(n, p, rng.New(seed))
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		return err
+	}
+	engines := []sim.Engine{sim.EngineScalar, sim.EngineBitset, sim.EngineColumnar}
+	if engine != sim.EngineAuto {
+		engines = []sim.Engine{engine}
+	}
+	for _, e := range engines {
+		if e != sim.EngineScalar {
+			g.Matrix() // build (and cache) the packed rows outside the timer
+			break
+		}
+	}
+	// Records carry the shard count that actually applied: the resolved
+	// bound for the columnar engine, 1 for the inherently serial
+	// engines — so trajectory records compare like for like.
+	effectiveShards := shards
+	if effectiveShards <= 0 {
+		effectiveShards = runtime.GOMAXPROCS(0)
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range engines {
+		opts := sim.Options{Engine: e, Shards: shards}
+		recShards := 1
+		if e == sim.EngineColumnar {
+			opts.Bulk = bulk
+			recShards = effectiveShards
+		}
+		var rounds, beeps float64
+		start := time.Now()
+		for run := 0; run < runs; run++ {
+			res, err := sim.Run(g, factory, rng.New(seed+uint64(run)), opts)
+			if err != nil {
+				return fmt.Errorf("bench engine %v run %d: %w", e, run, err)
+			}
+			rounds += float64(res.Rounds)
+			beeps += float64(res.TotalBeeps)
+		}
+		elapsed := time.Since(start)
+		rec := benchRecord{
+			Engine:     e.String(),
+			Shards:     recShards,
+			N:          n,
+			P:          p,
+			Runs:       runs,
+			Rounds:     rounds / float64(runs),
+			Beeps:      beeps / float64(runs),
+			NsPerRound: float64(elapsed.Nanoseconds()) / rounds,
+			NsPerRun:   float64(elapsed.Nanoseconds()) / float64(runs),
+		}
+		if asJSON {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%-9s shards=%-2d G(%d,%g): %.1f rounds/run, %.0f beeps/run, %.0f ns/round, %.2f ms/run\n",
+			rec.Engine, rec.Shards, rec.N, rec.P, rec.Rounds, rec.Beeps, rec.NsPerRound, rec.NsPerRun/1e6)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchArgs is a small, fast -bench workload shared by the tests.
+var benchArgs = []string{"-bench", "-benchn", "300", "-benchp", "0.5", "-benchruns", "2"}
+
+func TestBenchJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append([]string{}, append(benchArgs, "-json")...), &out); err != nil {
+		t.Fatal(err)
+	}
+	var records []benchRecord
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var rec benchRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		records = append(records, rec)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records, want one per engine (3):\n%v", len(records), records)
+	}
+	engines := map[string]benchRecord{}
+	for _, rec := range records {
+		engines[rec.Engine] = rec
+		if rec.N != 300 || rec.P != 0.5 || rec.Runs != 2 {
+			t.Fatalf("record workload fields wrong: %+v", rec)
+		}
+		if rec.Rounds <= 0 || rec.Beeps <= 0 || rec.NsPerRound <= 0 || rec.NsPerRun <= 0 {
+			t.Fatalf("record metrics not positive: %+v", rec)
+		}
+	}
+	for _, name := range []string{"scalar", "bitset", "columnar"} {
+		if _, ok := engines[name]; !ok {
+			t.Fatalf("no record for engine %q", name)
+		}
+	}
+	// Shard stamps reflect what applied: serial engines record 1 and
+	// the columnar record resolves the 0 default to a concrete bound.
+	if engines["scalar"].Shards != 1 || engines["bitset"].Shards != 1 {
+		t.Fatalf("serial engines should record shards=1: %+v", engines)
+	}
+	if engines["columnar"].Shards < 1 {
+		t.Fatalf("columnar record has unresolved shard bound: %+v", engines["columnar"])
+	}
+	// Seed-identity across engines shows through the benchmark too.
+	if engines["scalar"].Rounds != engines["columnar"].Rounds ||
+		engines["scalar"].Beeps != engines["columnar"].Beeps {
+		t.Fatalf("engines disagree on rounds/beeps: %+v", engines)
+	}
+}
+
+func TestBenchTextOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append([]string{}, append(benchArgs, "-engine", "columnar", "-shards", "2")...), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "columnar") || !strings.Contains(text, "shards=2") {
+		t.Fatalf("text output missing engine/shards: %q", text)
+	}
+	if strings.Contains(text, "scalar") {
+		t.Fatalf("engine pin leaked other engines: %q", text)
+	}
+}
+
+// TestBenchHonorsOutFile covers -bench -json -out, the across-PR
+// trajectory recording workflow.
+func TestBenchHonorsOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run(append([]string{}, append(benchArgs, "-json", "-engine", "columnar", "-out", path)...), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("-out set but stdout got %q", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("bad JSON in -out file %q: %v", data, err)
+	}
+	if rec.Engine != "columnar" {
+		t.Fatalf("unexpected record: %+v", rec)
+	}
+}
+
+// TestShardsConflictsWithEnginePin mirrors the library surface: only
+// the columnar engine shards propagation, so a non-columnar pin plus
+// -shards is rejected rather than silently ignored.
+func TestShardsConflictsWithEnginePin(t *testing.T) {
+	for _, engine := range []string{"scalar", "bitset"} {
+		if err := run([]string{"-exp", "fig5", "-trials", "1", "-maxn", "25", "-engine", engine, "-shards", "4"}, &bytes.Buffer{}); err == nil {
+			t.Fatalf("-shards with -engine %s accepted", engine)
+		}
+	}
+	for _, engine := range []string{"auto", "columnar"} {
+		if err := run([]string{"-exp", "fig5", "-trials", "1", "-maxn", "25", "-engine", engine, "-shards", "4"}, &bytes.Buffer{}); err != nil {
+			t.Fatalf("-shards with -engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestBenchRejectsBadWorkload(t *testing.T) {
+	if err := run([]string{"-bench", "-benchn", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-benchn 0 accepted")
+	}
+	if err := run([]string{"-bench", "-benchp", "1.5"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-benchp 1.5 accepted")
+	}
+}
+
+func TestJSONRequiresBench(t *testing.T) {
+	if err := run([]string{"-exp", "fig5", "-trials", "1", "-maxn", "25", "-json"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-json without -bench accepted")
+	}
+}
+
+// TestShardsFlagInvariance runs one experiment at two shard settings and
+// requires byte-identical output — the CLI face of the
+// determinism-under-sharding contract.
+func TestShardsFlagInvariance(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, shards := range []string{"1", "3"} {
+		var out bytes.Buffer
+		args := []string{"-exp", "fig5", "-trials", "2", "-maxn", "50", "-engine", "columnar", "-shards", shards, "-format", "csv"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("shards=%s: %v", shards, err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("output differs between -shards 1 and -shards 3:\n%s\n---\n%s", outputs[0], outputs[1])
+	}
+}

@@ -8,10 +8,18 @@
 //	misbench -exp all -trials 5 -maxn 300   # quick pass over everything
 //	misbench -exp fig3 -format csv -out fig3.csv
 //	misbench -exp fig3 -workers 4           # bound the trial worker pool
-//	misbench -exp fig3 -engine bitset       # pin the simulation engine
+//	misbench -exp fig3 -engine columnar     # pin the simulation engine
+//	misbench -exp fig3 -shards 8            # bound columnar propagation goroutines
+//	misbench -bench -json                   # machine-readable engine benchmark
 //
 // Trials run in parallel on a bounded worker pool; output is
-// bit-identical for any -workers value and any -engine choice.
+// bit-identical for any -workers value, any -engine choice, and any
+// -shards value.
+//
+// The -bench mode times whole simulation runs per engine on one G(n,p)
+// workload (configured with -benchn/-benchp/-benchruns) and, with
+// -json, emits one JSON record per engine — the across-PR benchmark
+// trajectory format.
 package main
 
 import (
@@ -44,8 +52,14 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("out", "", "write output to this file instead of stdout")
 		compare = fs.String("compare", "", "compare the run against a baseline JSON file (written with -format json); non-empty drift fails")
 		tol     = fs.Float64("tolerance", 0.2, "relative drift tolerance for -compare")
-		engine  = fs.String("engine", "auto", "simulation engine: auto, scalar, or bitset (results are seed-identical)")
+		engine  = fs.String("engine", "auto", "simulation engine: auto, scalar, bitset, or columnar (results are seed-identical)")
 		workers = fs.Int("workers", 0, "trial worker pool size (0 = all cores; results are identical for any value)")
+		shards  = fs.Int("shards", 0, "columnar-engine propagation goroutines (0 = all cores, 1 = serial; results are identical for any value)")
+		bench   = fs.Bool("bench", false, "run the per-engine wall-clock benchmark instead of an experiment")
+		benchN  = fs.Int("benchn", 20000, "bench graph size n for G(n,p)")
+		benchP  = fs.Float64("benchp", 0.5, "bench edge probability p for G(n,p)")
+		benchR  = fs.Int("benchruns", 3, "bench simulation runs per engine")
+		asJSON  = fs.Bool("json", false, "emit -bench results as JSON records (engine, shards, rounds, ns/round, beeps)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +68,27 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN, Workers: *workers, Engine: eng}
+	if *shards != 0 && eng != sim.EngineAuto && eng != sim.EngineColumnar {
+		// Mirror beepmis.WithShards: only the columnar engine shards
+		// propagation, so a non-columnar pin makes -shards a typo.
+		return fmt.Errorf("-shards %d conflicts with -engine %v (only the columnar engine shards propagation)", *shards, eng)
+	}
+	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN, Workers: *workers, Engine: eng, Shards: *shards}
+	if *asJSON && !*bench {
+		return fmt.Errorf("-json applies to -bench output (experiments have -format json)")
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if *bench {
+		return runEngineBench(w, *benchN, *benchP, *benchR, *seed, eng, *shards, *asJSON)
+	}
 	if *list {
 		for _, id := range experiment.IDs() {
 			title, err := experiment.Describe(id)
@@ -70,16 +104,6 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *exp == "" {
 		return fmt.Errorf("missing -exp (use -list to see experiments)")
-	}
-
-	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return fmt.Errorf("create output file: %w", err)
-		}
-		defer func() { _ = f.Close() }()
-		w = f
 	}
 
 	ids := []string{*exp}

@@ -3,10 +3,10 @@ package beepmis
 import "testing"
 
 // TestEngineEquivalence asserts the public seed-equivalence contract:
-// for every beeping algorithm, graph family, and seed, the scalar and
-// bitset engines produce identical Results. The families mirror the
-// repository's generator catalogue; sizes straddle 64-bit word
-// boundaries so packing bugs cannot hide.
+// for every beeping algorithm, graph family, seed, and shard count, all
+// engines — scalar, bitset, and columnar — produce identical Results.
+// The families mirror the repository's generator catalogue; sizes
+// straddle 64-bit word boundaries so packing bugs cannot hide.
 func TestEngineEquivalence(t *testing.T) {
 	families := []struct {
 		name string
@@ -21,6 +21,17 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 	algos := []Algorithm{AlgorithmFeedback, AlgorithmGlobalSweep, AlgorithmAfekOriginal}
 	seeds := []uint64{0, 1, 42, 1 << 33}
+	// Every engine the simulator offers, the columnar one at shard
+	// counts bracketing serial, odd, and all-cores sharding.
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"bitset", []Option{WithEngine(EngineBitset)}},
+		{"columnar-1", []Option{WithEngine(EngineColumnar), WithShards(1)}},
+		{"columnar-3", []Option{WithEngine(EngineColumnar), WithShards(3)}},
+		{"columnar-all", []Option{WithEngine(EngineColumnar)}},
+	}
 
 	for _, fam := range families {
 		for _, algo := range algos {
@@ -30,27 +41,48 @@ func TestEngineEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatalf("scalar: %v", err)
 					}
-					bitset, err := Solve(fam.g, algo, WithSeed(seed), WithEngine(EngineBitset))
-					if err != nil {
-						t.Fatalf("bitset: %v", err)
-					}
-					if scalar.Rounds != bitset.Rounds {
-						t.Fatalf("seed %d: Rounds %d vs %d", seed, scalar.Rounds, bitset.Rounds)
-					}
-					if scalar.TotalBeeps != bitset.TotalBeeps {
-						t.Fatalf("seed %d: TotalBeeps %d vs %d", seed, scalar.TotalBeeps, bitset.TotalBeeps)
-					}
-					for v := range scalar.InMIS {
-						if scalar.InMIS[v] != bitset.InMIS[v] {
-							t.Fatalf("seed %d: InMIS differs at vertex %d", seed, v)
-						}
-					}
-					if err := Verify(fam.g, bitset.InMIS); err != nil {
+					if err := Verify(fam.g, scalar.InMIS); err != nil {
 						t.Fatalf("seed %d: invalid MIS: %v", seed, err)
+					}
+					for _, variant := range variants {
+						res, err := Solve(fam.g, algo, append([]Option{WithSeed(seed)}, variant.opts...)...)
+						if err != nil {
+							t.Fatalf("%s: %v", variant.name, err)
+						}
+						if scalar.Rounds != res.Rounds {
+							t.Fatalf("seed %d %s: Rounds %d vs %d", seed, variant.name, scalar.Rounds, res.Rounds)
+						}
+						if scalar.TotalBeeps != res.TotalBeeps {
+							t.Fatalf("seed %d %s: TotalBeeps %d vs %d", seed, variant.name, scalar.TotalBeeps, res.TotalBeeps)
+						}
+						for v := range scalar.InMIS {
+							if scalar.InMIS[v] != res.InMIS[v] {
+								t.Fatalf("seed %d %s: InMIS differs at vertex %d", seed, variant.name, v)
+							}
+						}
 					}
 				})
 			}
 		}
+	}
+}
+
+// TestShardsConflicts pins the explicit rejections of WithShards
+// combinations that have no sharded propagation to configure.
+func TestShardsConflicts(t *testing.T) {
+	g := GNP(40, 0.3, 2)
+	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithShards(4), WithConcurrentEngine()); err == nil {
+		t.Fatal("WithShards + WithConcurrentEngine was silently accepted")
+	}
+	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithShards(4), WithEngine(EngineScalar)); err == nil {
+		t.Fatal("WithShards + WithEngine(EngineScalar) was silently accepted")
+	}
+	// Shards compose with an explicit columnar pin and with auto.
+	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithShards(4), WithEngine(EngineColumnar)); err != nil {
+		t.Fatalf("WithShards + WithEngine(EngineColumnar): %v", err)
+	}
+	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithShards(4)); err != nil {
+		t.Fatalf("WithShards alone: %v", err)
 	}
 }
 
@@ -77,7 +109,7 @@ func TestEngineDefaultIsAuto(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset} {
+	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset, EngineColumnar} {
 		res, err := Solve(g, AlgorithmFeedback, WithSeed(5), WithEngine(e))
 		if err != nil {
 			t.Fatalf("engine %v: %v", e, err)

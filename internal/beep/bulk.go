@@ -1,0 +1,56 @@
+package beep
+
+import (
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+// NetworkInfo is the static information available to a bulk automaton at
+// start-up: the whole-network counterpart of NodeInfo. Degrees is indexed
+// by node id and must not be modified.
+type NetworkInfo struct {
+	// N is the number of nodes in the network.
+	N int
+	// Degrees holds each node's degree.
+	Degrees []int
+	// MaxDegree is the maximum degree of the network.
+	MaxDegree int
+}
+
+// BulkAutomaton is the columnar counterpart of Automaton: one object
+// holding the algorithm state of every node as packed arrays, so the
+// simulator's round loop can run as a handful of array sweeps instead of
+// n interface calls. A bulk automaton must be observationally identical
+// to n per-node automata: for any node v it draws from streams[v] exactly
+// the values the per-node Beep would draw, in the same per-stream order,
+// and applies exactly the per-node Observe update. The engine equivalence
+// tests enforce this bit-for-bit.
+type BulkAutomaton interface {
+	// BeepAll decides this step's beeps for every node in active,
+	// visiting nodes in increasing id order and drawing node v's
+	// randomness from streams[v]. It sets out's bit for each beeper.
+	// out is zeroed by the caller and has active's capacity; nodes
+	// outside active must not be touched and must draw nothing.
+	BeepAll(active graph.Bitset, streams []*rng.Source, out graph.Bitset)
+	// ObserveAll delivers the step's outcome to every node in observed:
+	// node v beeped iff beeped contains v and heard a neighbour iff
+	// heard contains v. Nodes outside observed must not be updated.
+	// (The engine owns the join rule, so an observed node never has a
+	// joining neighbour — the NeighborJoined field of the per-node
+	// Outcome is always false here, as in the per-node engines.)
+	ObserveAll(observed, beeped, heard graph.Bitset)
+}
+
+// BulkProbabilityReporter is optionally implemented by bulk automata that
+// expose their current beep probabilities; the tracer uses it to populate
+// Snapshot.Probabilities exactly like the per-node ProbabilityReporter.
+type BulkProbabilityReporter interface {
+	// BeepProbabilities fills dst[v] with the probability that node v's
+	// next BeepAll draw returns true. dst has one entry per node.
+	BeepProbabilities(dst []float64)
+}
+
+// BulkFactory builds the bulk automaton covering all of a network's
+// nodes. A nil BulkFactory means the algorithm has no columnar kernel
+// and engines must fall back to per-node automata.
+type BulkFactory func(net NetworkInfo) BulkAutomaton

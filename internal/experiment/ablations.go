@@ -32,11 +32,16 @@ func runAblateFactor(cfg Config) (*Result, error) {
 	}
 	series := Series{Name: "feedback"}
 	for fi, factor := range factors {
-		factory, err := mis.NewFeedback(mis.FeedbackConfig{Factor: factor})
+		fbCfg := mis.FeedbackConfig{Factor: factor}
+		factory, err := mis.NewFeedback(fbCfg)
 		if err != nil {
 			return nil, err
 		}
-		pt, censored, err := sweepPoint(cfg, master, fi, trials, 0, factory, gnpHalf(n), roundsMetric)
+		bulk, err := mis.NewFeedbackBulk(fbCfg)
+		if err != nil {
+			return nil, err
+		}
+		pt, censored, err := sweepPoint(cfg, master, fi, trials, 0, factory, bulk, gnpHalf(n), roundsMetric)
 		if err != nil {
 			return nil, fmt.Errorf("factor %v: %w", factor, err)
 		}
@@ -75,13 +80,18 @@ func runAblateInit(cfg Config) (*Result, error) {
 		{"p0=1/64", 1.0 / 64},
 	}
 	for ui, u := range uniform {
-		factory, err := mis.NewFeedback(mis.FeedbackConfig{InitialP: u.p0})
+		fbCfg := mis.FeedbackConfig{InitialP: u.p0}
+		factory, err := mis.NewFeedback(fbCfg)
+		if err != nil {
+			return nil, err
+		}
+		bulk, err := mis.NewFeedbackBulk(fbCfg)
 		if err != nil {
 			return nil, err
 		}
 		series := Series{Name: u.name}
 		for si, n := range ns {
-			pt, _, err := sweepPoint(cfg, master, ui*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+			pt, _, err := sweepPoint(cfg, master, ui*1000+si, trials, 0, factory, bulk, gnpHalf(n), roundsMetric)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", u.name, n, err)
 			}
@@ -100,7 +110,9 @@ func runAblateInit(cfg Config) (*Result, error) {
 	}
 	series := Series{Name: "p0 random per node"}
 	for si, n := range ns {
-		pt, _, err := sweepPoint(cfg, master, 9000+si, trials, 0, hetero, gnpHalf(n), roundsMetric)
+		// Heterogeneous initials have no columnar kernel: nil bulk
+		// exercises the per-node fallback path.
+		pt, _, err := sweepPoint(cfg, master, 9000+si, trials, 0, hetero, nil, gnpHalf(n), roundsMetric)
 		if err != nil {
 			return nil, fmt.Errorf("hetero n=%d: %w", n, err)
 		}
@@ -126,7 +138,7 @@ func runAblateLoss(cfg Config) (*Result, error) {
 	losses := []float64{0, 0.02, 0.05, 0.1, 0.2}
 	trials := cfg.trials(100)
 	master := rng.New(cfg.Seed)
-	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		return nil, err
 	}
@@ -137,14 +149,14 @@ func runAblateLoss(cfg Config) (*Result, error) {
 		XLabel: "loss probability",
 		YLabel: "time steps / violation %",
 	}
-	// EngineBitset refuses BeepLoss (loss draws happen per edge), so a
-	// bitset pin cannot be honored here; say so instead of silently
-	// substituting, and let EngineAuto fall back to the scalar exchange
-	// on every lossy point.
+	// The word-parallel engines refuse BeepLoss (loss draws happen per
+	// edge), so a bitset or columnar pin cannot be honored here; say so
+	// instead of silently substituting, and let EngineAuto fall back to
+	// the scalar exchange on every lossy point.
 	engine := cfg.Engine
-	if engine == sim.EngineBitset {
+	if engine == sim.EngineBitset || engine == sim.EngineColumnar {
+		res.Notes = append(res.Notes, fmt.Sprintf("engine pin %q ignored: lossy exchanges require the scalar engine", engine))
 		engine = sim.EngineAuto
-		res.Notes = append(res.Notes, "engine pin \"bitset\" ignored: lossy exchanges require the scalar engine")
 	}
 	roundsSeries := Series{Name: "time steps"}
 	violSeries := Series{Name: "independence violations (%)"}
@@ -153,7 +165,10 @@ func runAblateLoss(cfg Config) (*Result, error) {
 		violated := make([]bool, trials)
 		err := forTrials(cfg.workers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(li, trial, 1)))
-			r, err := sim.Run(g, factory, master.Stream(trialKey(li, trial, 2)), sim.Options{BeepLoss: loss, Engine: engine})
+			opts := cfg.simOpts(bulk)
+			opts.Engine = engine
+			opts.BeepLoss = loss
+			r, err := sim.Run(g, factory, master.Stream(trialKey(li, trial, 2)), opts)
 			if err != nil {
 				if errors.Is(err, sim.ErrTooManyRounds) {
 					rounds[trial] = float64(r.Rounds)
@@ -212,14 +227,19 @@ func runAblateFloor(cfg Config) (*Result, error) {
 		YLabel: fmt.Sprintf("time steps (censored at %d)", roundCap),
 	}
 	for fi, fl := range floors {
-		factory, err := mis.NewFeedback(mis.FeedbackConfig{MinP: fl.minP})
+		fbCfg := mis.FeedbackConfig{MinP: fl.minP}
+		factory, err := mis.NewFeedback(fbCfg)
+		if err != nil {
+			return nil, err
+		}
+		bulk, err := mis.NewFeedbackBulk(fbCfg)
 		if err != nil {
 			return nil, err
 		}
 		series := Series{Name: fl.name}
 		for si, n := range ns {
 			n := n
-			pt, censored, err := sweepPoint(cfg, master, fi*1000+si, trials, roundCap, factory,
+			pt, censored, err := sweepPoint(cfg, master, fi*1000+si, trials, roundCap, factory, bulk,
 				func(*rng.Source) *graph.Graph { return graph.CliqueFamily(n) },
 				roundsMetric)
 			if err != nil {

@@ -70,7 +70,7 @@ func runLuby(cfg Config) (*Result, error) {
 	}
 
 	// Feedback, via the simulator.
-	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,7 @@ func runLuby(cfg Config) (*Result, error) {
 	maxN := ns[len(ns)-1]
 	for si, n := range ns {
 		n := n
-		pt, _, err := sweepPoint(cfg, master, 9000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+		pt, _, err := sweepPoint(cfg, master, 9000+si, trials, 0, factory, bulk, gnpHalf(n), roundsMetric)
 		if err != nil {
 			return nil, fmt.Errorf("feedback n=%d: %w", n, err)
 		}
@@ -87,7 +87,7 @@ func runLuby(cfg Config) (*Result, error) {
 		if n == maxN {
 			// One extra pass for the bit accounting note: each beep is
 			// one bit on each incident channel.
-			beepsPt, _, err := sweepPoint(cfg, master, 9500+si, trials, 0, factory, gnpHalf(n), beepsMetric)
+			beepsPt, _, err := sweepPoint(cfg, master, 9500+si, trials, 0, factory, bulk, gnpHalf(n), beepsMetric)
 			if err != nil {
 				return nil, err
 			}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"beepmis/internal/beep"
 	"beepmis/internal/plot"
 	"beepmis/internal/sim"
 )
@@ -39,6 +40,26 @@ type Config struct {
 	// value is sim.EngineAuto). Lossy-exchange experiments always use
 	// the scalar path regardless, since per-edge loss draws need it.
 	Engine sim.Engine
+	// Shards bounds the columnar engine's propagation goroutines per
+	// trial; 0 means GOMAXPROCS, 1 keeps propagation serial. Results
+	// are bit-identical for any value. With many parallel trial workers
+	// already saturating the cores, 1 is usually the right choice —
+	// which is what the trial pool defaults to when Workers exceeds 1.
+	Shards int
+}
+
+// simOpts assembles the sim.Options shared by every trial of an
+// experiment: the engine pin, the shard bound, and the algorithm's bulk
+// kernel (nil for algorithms without one). When the trial pool itself
+// runs many workers, sharding propagation on top would oversubscribe
+// the cores, so an unset Shards collapses to serial propagation unless
+// the pool is serial.
+func (c Config) simOpts(bulk beep.BulkFactory) sim.Options {
+	shards := c.Shards
+	if shards == 0 && c.workers() > 1 {
+		shards = 1
+	}
+	return sim.Options{Engine: c.Engine, Bulk: bulk, Shards: shards}
 }
 
 // Point is one x position of a series.

@@ -41,7 +41,7 @@ func runBits(cfg Config) (*Result, error) {
 	// Feedback: each beep is one bit on each incident channel; per
 	// channel {u,v} the bits are beeps(u) + beeps(v). Averaged over
 	// channels this is Σ_v beeps(v)·deg(v) / m.
-	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +51,7 @@ func runBits(cfg Config) (*Result, error) {
 		ok := make([]bool, trials)
 		err := forTrials(cfg.workers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(si, trial, 1)))
-			r, err := sim.Run(g, factory, master.Stream(trialKey(si, trial, 2)), sim.Options{Engine: cfg.Engine})
+			r, err := sim.Run(g, factory, master.Stream(trialKey(si, trial, 2)), cfg.simOpts(bulk))
 			if err != nil {
 				return fmt.Errorf("feedback n=%d: %w", n, err)
 			}
@@ -146,7 +146,7 @@ func runWakeup(cfg Config) (*Result, error) {
 	windows := []int{1, 10, 25, 50, 100}
 	trials := cfg.trials(50)
 	master := rng.New(cfg.Seed)
-	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +171,9 @@ func runWakeup(cfg Config) (*Result, error) {
 			for v := range wake {
 				wake[v] = 1 + wakeSrc.Intn(w)
 			}
-			r, err := sim.Run(g, factory, master.Stream(trialKey(wi, trial, 2)), sim.Options{WakeAt: wake, Engine: cfg.Engine})
+			opts := cfg.simOpts(bulk)
+			opts.WakeAt = wake
+			r, err := sim.Run(g, factory, master.Stream(trialKey(wi, trial, 2)), opts)
 			if err != nil {
 				return fmt.Errorf("window %d: %w", w, err)
 			}
@@ -206,7 +208,7 @@ func runFamilies(cfg Config) (*Result, error) {
 	ns := cfg.sizes([]int{64, 144, 256, 400, 576, 784, 1024})
 	trials := cfg.trials(50)
 	master := rng.New(cfg.Seed)
-	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +244,7 @@ func runFamilies(cfg Config) (*Result, error) {
 		series := Series{Name: fam.name}
 		for si, n := range ns {
 			n, fam := n, fam
-			pt, censored, err := sweepPoint(cfg, master, fi*1000+si, trials, 0, factory,
+			pt, censored, err := sweepPoint(cfg, master, fi*1000+si, trials, 0, factory, bulk,
 				func(src *rng.Source) *graph.Graph { return fam.gen(n, src) },
 				roundsMetric)
 			if err != nil {

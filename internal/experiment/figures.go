@@ -46,13 +46,13 @@ func runFig3(cfg Config) (*Result, error) {
 		{"feedback", mis.Spec{Name: mis.NameFeedback}},
 	}
 	for ai, algo := range algos {
-		factory, err := mis.NewFactory(algo.spec)
+		factory, bulk, err := mis.NewFactories(algo.spec)
 		if err != nil {
 			return nil, err
 		}
 		series := Series{Name: algo.name}
 		for si, n := range ns {
-			pt, censored, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+			pt, censored, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory, bulk, gnpHalf(n), roundsMetric)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", algo.name, n, err)
 			}
@@ -101,13 +101,13 @@ func runFig5(cfg Config) (*Result, error) {
 		{"afek-original", mis.Spec{Name: mis.NameAfek}},
 	}
 	for ai, algo := range algos {
-		factory, err := mis.NewFactory(algo.spec)
+		factory, bulk, err := mis.NewFactories(algo.spec)
 		if err != nil {
 			return nil, err
 		}
 		series := Series{Name: algo.name}
 		for si, n := range ns {
-			pt, _, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory, gnpHalf(n), beepsMetric)
+			pt, _, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory, bulk, gnpHalf(n), beepsMetric)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", algo.name, n, err)
 			}

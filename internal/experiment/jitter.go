@@ -48,7 +48,10 @@ func runAblateJitter(cfg Config) (*Result, error) {
 		}
 		series := Series{Name: variant.name}
 		for si, n := range ns {
-			pt, censored, err := sweepPoint(cfg, master, vi*1000+si, trials, 0, factory, gnpHalf(n), roundsMetric)
+			// Per-step random factors draw from the node stream inside
+			// Observe; there is no columnar kernel for that, so the nil
+			// bulk keeps the per-node engines.
+			pt, censored, err := sweepPoint(cfg, master, vi*1000+si, trials, 0, factory, nil, gnpHalf(n), roundsMetric)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", variant.name, n, err)
 			}
@@ -69,7 +72,7 @@ func runAblateJitter(cfg Config) (*Result, error) {
 	bad := make([]bool, trials)
 	if err := forTrials(cfg.workers(), trials, func(trial int) error {
 		g := graph.GNP(200, 0.5, master.Stream(trialKey(9000, trial, 1)))
-		r, err := sim.Run(g, factory, master.Stream(trialKey(9000, trial, 2)), sim.Options{Engine: cfg.Engine})
+		r, err := sim.Run(g, factory, master.Stream(trialKey(9000, trial, 2)), cfg.simOpts(nil))
 		if err != nil {
 			return err
 		}

@@ -76,23 +76,34 @@ func TestWorkerCountInvariance(t *testing.T) {
 }
 
 // TestEngineInvariance pins experiment outputs across simulation
-// engines: scalar and bitset trials must aggregate identically.
+// engines and shard counts: scalar, bitset, and columnar trials must
+// aggregate identically.
 func TestEngineInvariance(t *testing.T) {
 	base := Config{Seed: 5, Trials: 3, MaxN: 120}
 	var first *Result
-	for _, engine := range []sim.Engine{sim.EngineScalar, sim.EngineBitset} {
+	for _, tc := range []struct {
+		name   string
+		engine sim.Engine
+		shards int
+	}{
+		{"scalar", sim.EngineScalar, 0},
+		{"bitset", sim.EngineBitset, 0},
+		{"columnar-serial", sim.EngineColumnar, 1},
+		{"columnar-sharded", sim.EngineColumnar, 3},
+	} {
 		cfg := base
-		cfg.Engine = engine
+		cfg.Engine = tc.engine
+		cfg.Shards = tc.shards
 		res, err := Run("fig3", cfg)
 		if err != nil {
-			t.Fatalf("engine %v: %v", engine, err)
+			t.Fatalf("engine %s: %v", tc.name, err)
 		}
 		if first == nil {
 			first = res
 			continue
 		}
 		if !reflect.DeepEqual(first, res) {
-			t.Fatalf("fig3 differs between scalar and bitset engines")
+			t.Fatalf("fig3 differs between scalar and %s engines", tc.name)
 		}
 	}
 }

@@ -67,7 +67,8 @@ func trialKey(sizeIdx, trial, purpose int) uint64 {
 // sweepPoint runs `trials` simulations at one sweep position on the
 // bounded worker pool and aggregates metric over them. gen builds the
 // trial's graph; metric maps the simulation result to the measured
-// quantity. A run that hits maxRounds is recorded at the cap (censored),
+// quantity; bulk is the factory's columnar kernel (nil when the
+// algorithm has none, falling back to per-node engines). A run that hits maxRounds is recorded at the cap (censored),
 // which the callers note. Each trial draws from rng streams keyed by its
 // index and writes into its own slot, so the aggregate is bit-identical
 // for any worker count.
@@ -76,15 +77,17 @@ func sweepPoint(
 	master *rng.Source,
 	sizeIdx, trials, maxRounds int,
 	factory beep.Factory,
+	bulk beep.BulkFactory,
 	gen func(src *rng.Source) *graph.Graph,
 	metric func(res *sim.Result, g *graph.Graph) float64,
 ) (Point, int, error) {
 	vals := make([]float64, trials)
 	capped := make([]bool, trials)
+	opts := cfg.simOpts(bulk)
+	opts.MaxRounds = maxRounds
 	err := forTrials(cfg.workers(), trials, func(trial int) error {
 		g := gen(master.Stream(trialKey(sizeIdx, trial, 1)))
-		res, err := sim.Run(g, factory, master.Stream(trialKey(sizeIdx, trial, 2)),
-			sim.Options{MaxRounds: maxRounds, Engine: cfg.Engine})
+		res, err := sim.Run(g, factory, master.Stream(trialKey(sizeIdx, trial, 2)), opts)
 		if err != nil {
 			if !errors.Is(err, sim.ErrTooManyRounds) {
 				return err

@@ -39,14 +39,14 @@ func runThm1(cfg Config) (*Result, error) {
 		{"feedback", mis.Spec{Name: mis.NameFeedback}},
 	}
 	for ai, algo := range algos {
-		factory, err := mis.NewFactory(algo.spec)
+		factory, bulk, err := mis.NewFactories(algo.spec)
 		if err != nil {
 			return nil, err
 		}
 		series := Series{Name: algo.name}
 		for si, n := range ns {
 			n := n
-			pt, censored, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory,
+			pt, censored, err := sweepPoint(cfg, master, ai*1000+si, trials, 0, factory, bulk,
 				func(*rng.Source) *graph.Graph { return graph.CliqueFamily(n) },
 				roundsMetric)
 			if err != nil {
@@ -70,7 +70,7 @@ func runThm1(cfg Config) (*Result, error) {
 func runThm6(cfg Config) (*Result, error) {
 	trials := cfg.trials(200)
 	master := rng.New(cfg.Seed)
-	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +85,7 @@ func runThm6(cfg Config) (*Result, error) {
 	gnpSizes := cfg.sizes(intRange(25, 200, 25))
 	gnpSeries := Series{Name: "gnp-half"}
 	for si, n := range gnpSizes {
-		pt, _, err := sweepPoint(cfg, master, si, trials, 0, factory, gnpHalf(n), beepsMetric)
+		pt, _, err := sweepPoint(cfg, master, si, trials, 0, factory, bulk, gnpHalf(n), beepsMetric)
 		if err != nil {
 			return nil, fmt.Errorf("gnp n=%d: %w", n, err)
 		}
@@ -105,7 +105,7 @@ func runThm6(cfg Config) (*Result, error) {
 		if cfg.MaxN > 0 && k*k > cfg.MaxN {
 			continue
 		}
-		pt, _, err := sweepPoint(cfg, master, 1000+si, trials, 0, factory,
+		pt, _, err := sweepPoint(cfg, master, 1000+si, trials, 0, factory, bulk,
 			func(*rng.Source) *graph.Graph { return graph.Grid(k, k) },
 			beepsMetric)
 		if err != nil {

@@ -32,11 +32,11 @@ func Verdict(cfg Config) ([]Check, error) {
 	}
 	master := rng.New(cfg.Seed)
 
-	feedback, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	feedback, feedbackBulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := mis.NewFactory(mis.Spec{Name: mis.NameGlobalSweep})
+	sweep, sweepBulk, err := mis.NewFactories(mis.Spec{Name: mis.NameGlobalSweep})
 	if err != nil {
 		return nil, err
 	}
@@ -48,11 +48,11 @@ func Verdict(cfg Config) ([]Check, error) {
 	gnpTrials := make([]gnpTrial, trials)
 	err = forTrials(cfg.workers(), trials, func(trial int) error {
 		g := graph.GNP(n, 0.5, master.Stream(trialKey(1, trial, 1)))
-		fb, err := sim.Run(g, feedback, master.Stream(trialKey(1, trial, 2)), sim.Options{Engine: cfg.Engine})
+		fb, err := sim.Run(g, feedback, master.Stream(trialKey(1, trial, 2)), cfg.simOpts(feedbackBulk))
 		if err != nil {
 			return fmt.Errorf("verdict feedback: %w", err)
 		}
-		sw, err := sim.Run(g, sweep, master.Stream(trialKey(1, trial, 3)), sim.Options{Engine: cfg.Engine})
+		sw, err := sim.Run(g, sweep, master.Stream(trialKey(1, trial, 3)), cfg.simOpts(sweepBulk))
 		if err != nil {
 			return fmt.Errorf("verdict sweep: %w", err)
 		}
@@ -89,11 +89,11 @@ func Verdict(cfg Config) ([]Check, error) {
 	cfFbSlots := make([]float64, trials)
 	cfSwSlots := make([]float64, trials)
 	err = forTrials(cfg.workers(), trials, func(trial int) error {
-		a, err := sim.Run(cf, feedback, master.Stream(trialKey(2, trial, 1)), sim.Options{Engine: cfg.Engine})
+		a, err := sim.Run(cf, feedback, master.Stream(trialKey(2, trial, 1)), cfg.simOpts(feedbackBulk))
 		if err != nil {
 			return err
 		}
-		b, err := sim.Run(cf, sweep, master.Stream(trialKey(2, trial, 2)), sim.Options{Engine: cfg.Engine})
+		b, err := sim.Run(cf, sweep, master.Stream(trialKey(2, trial, 2)), cfg.simOpts(sweepBulk))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,9 @@
 package graph
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // Bitset is a fixed-capacity set of small non-negative integers packed
 // 64 per word, the substrate of the word-parallel simulation engine: one
@@ -36,6 +39,23 @@ func (b Bitset) Zero() {
 	}
 }
 
+// Fill sets exactly the elements [0, n) and clears the rest. n must be
+// within the capacity. This is how the columnar engine initialises its
+// all-nodes-active mask.
+func (b Bitset) Fill(n int) {
+	b.Zero()
+	if n <= 0 {
+		return
+	}
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		b[i] = ^uint64(0)
+	}
+	if rem := uint(n & 63); rem != 0 {
+		b[full] = (1 << rem) - 1
+	}
+}
+
 // Count returns the number of elements in the set.
 func (b Bitset) Count() int {
 	c := 0
@@ -62,12 +82,30 @@ func (b Bitset) Or(other Bitset) {
 	}
 }
 
+// And removes every element of b not in other. The sets must have equal
+// capacity.
+func (b Bitset) And(other Bitset) {
+	for i, w := range other {
+		b[i] &= w
+	}
+}
+
 // AndNot removes every element of other from b. The sets must have equal
 // capacity.
 func (b Bitset) AndNot(other Bitset) {
 	for i, w := range other {
 		b[i] &^= w
 	}
+}
+
+// AndCount returns |b ∩ other| without materialising the intersection.
+// The sets must have equal capacity.
+func (b Bitset) AndCount(other Bitset) int {
+	c := 0
+	for i, w := range other {
+		c += bits.OnesCount64(b[i] & w)
+	}
+	return c
 }
 
 // ForEach calls fn for every element of the set in increasing order. It
@@ -139,6 +177,106 @@ func (m *AdjacencyMatrix) OrRowInto(dst Bitset, v int) {
 	for i, w := range row {
 		dst[i] |= w
 	}
+}
+
+// OrRowRangeInto ORs words [lo, hi) of vertex v's adjacency row into the
+// same word range of dst. It is the building block of sharded
+// propagation: a worker that owns destination words [lo, hi) delivers
+// v's beep to just the listeners packed in that range.
+func (m *AdjacencyMatrix) OrRowRangeInto(dst Bitset, v, lo, hi int) {
+	row := m.rows[v*m.words+lo : v*m.words+hi]
+	d := dst[lo:hi]
+	for i, w := range row {
+		d[i] |= w
+	}
+}
+
+// orRowsRangeInto sets dst's words [lo, hi) to the union of the
+// corresponding row words of every vertex in emitters. Every 64 rows it
+// checks whether the range has saturated — every representable bit set —
+// and stops early if so: further ORs cannot change a saturated union, so
+// the result is exactly the full union either way. On dense graphs this
+// turns the crowded early rounds (thousands of emitters whose
+// neighbourhoods blanket the network within a few dozen rows) from
+// O(emitters · words) into O(words).
+func (m *AdjacencyMatrix) orRowsRangeInto(dst, emitters Bitset, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = 0
+	}
+	rows := 0
+	for wi, w := range emitters {
+		base := wi << 6
+		for w != 0 {
+			v := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			row := m.rows[v*m.words+lo : v*m.words+hi]
+			d := dst[lo:hi]
+			for i, rw := range row {
+				d[i] |= rw
+			}
+			rows++
+			if rows&63 == 0 && m.rangeSaturated(dst, lo, hi) {
+				return
+			}
+		}
+	}
+}
+
+// rangeSaturated reports whether dst's words [lo, hi) have every bit
+// that can name a vertex set (the last word of a non-multiple-of-64
+// matrix is only partially populated by construction, so its comparison
+// mask is the row tail mask).
+func (m *AdjacencyMatrix) rangeSaturated(dst Bitset, lo, hi int) bool {
+	tail := uint(m.n & 63)
+	for i := lo; i < hi; i++ {
+		want := ^uint64(0)
+		if i == m.words-1 && tail != 0 {
+			want = (uint64(1) << tail) - 1
+		}
+		if dst[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// propagateMinWords is the word-OR workload below which PropagateInto
+// stays on one goroutine: fan-out costs a few microseconds per worker,
+// which only pays off once each worker has tens of thousands of word
+// operations to chew through.
+const propagateMinWords = 1 << 15
+
+// PropagateInto sets dst to the union of the adjacency rows of every
+// vertex in emitters — one beeping exchange: after the call, dst holds
+// exactly the vertices with at least one emitting neighbour. The
+// destination word range is partitioned into up to `shards` contiguous
+// chunks processed by independent goroutines. Each worker owns a
+// disjoint destination range and OR is commutative and associative, so
+// dst is bit-identical for every shard count (including the inline
+// shards <= 1 path); sharding changes only the wall clock. Small
+// workloads run inline regardless of shards.
+func (m *AdjacencyMatrix) PropagateInto(dst, emitters Bitset, shards int) {
+	if shards > m.words {
+		shards = m.words
+	}
+	if shards > 1 && emitters.Count()*m.words < propagateMinWords {
+		shards = 1
+	}
+	if shards <= 1 {
+		m.orRowsRangeInto(dst, emitters, 0, m.words)
+		return
+	}
+	chunk := (m.words + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := 0; lo < m.words; lo += chunk {
+		hi := min(lo+chunk, m.words)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.orRowsRangeInto(dst, emitters, lo, hi)
+		}()
+	}
+	wg.Wait()
 }
 
 // HasEdge reports whether the edge {u, v} is present.

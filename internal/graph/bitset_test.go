@@ -187,3 +187,120 @@ func TestMatrixBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestBitsetFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 200} {
+		b := NewBitset(200)
+		b.Set(199) // Fill must clear bits beyond n
+		b.Fill(n)
+		if got := b.Count(); got != n {
+			t.Fatalf("Fill(%d): count %d", n, got)
+		}
+		for i := 0; i < 200; i++ {
+			if b.Test(i) != (i < n) {
+				t.Fatalf("Fill(%d): bit %d = %v", n, i, b.Test(i))
+			}
+		}
+	}
+}
+
+func TestBitsetAndAndCount(t *testing.T) {
+	src := rng.New(3)
+	a := NewBitset(300)
+	b := NewBitset(300)
+	want := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		inA := src.Intn(2) == 1
+		inB := src.Intn(2) == 1
+		if inA {
+			a.Set(i)
+		}
+		if inB {
+			b.Set(i)
+		}
+		want[i] = inA && inB
+	}
+	wantCount := 0
+	for _, w := range want {
+		if w {
+			wantCount++
+		}
+	}
+	if got := a.AndCount(b); got != wantCount {
+		t.Fatalf("AndCount = %d, want %d", got, wantCount)
+	}
+	a.And(b)
+	for i := 0; i < 300; i++ {
+		if a.Test(i) != want[i] {
+			t.Fatalf("And: bit %d = %v, want %v", i, a.Test(i), want[i])
+		}
+	}
+	if got := a.Count(); got != wantCount {
+		t.Fatalf("And: count %d, want %d", got, wantCount)
+	}
+}
+
+func TestOrRowRangeInto(t *testing.T) {
+	g := GNP(200, 0.3, rng.New(9))
+	m := g.Matrix()
+	for _, v := range []int{0, 63, 64, 150, 199} {
+		whole := NewBitset(g.N())
+		m.OrRowInto(whole, v)
+		// Reassemble the row from word ranges; the pieces must tile it.
+		pieced := NewBitset(g.N())
+		for lo := 0; lo < m.Words(); lo += 2 {
+			hi := lo + 2
+			if hi > m.Words() {
+				hi = m.Words()
+			}
+			m.OrRowRangeInto(pieced, v, lo, hi)
+		}
+		for i := range whole {
+			if whole[i] != pieced[i] {
+				t.Fatalf("vertex %d word %d: range-assembled row differs", v, i)
+			}
+		}
+	}
+}
+
+// TestPropagateIntoShardInvariance is the determinism-under-sharding
+// contract: for random graphs and emitter sets, PropagateInto yields
+// word-identical output for every shard count, equal to the serial
+// reference union of adjacency rows.
+func TestPropagateIntoShardInvariance(t *testing.T) {
+	src := rng.New(31)
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"gnp-400-dense", GNP(400, 0.5, rng.New(1))},
+		{"gnp-500-sparse", GNP(500, 0.01, rng.New(2))},
+		{"grid-20x20", Grid(20, 20)},
+		{"complete-129", Complete(129)},
+		{"empty-100", Empty(100)},
+	} {
+		m := tc.g.Matrix()
+		n := tc.g.N()
+		for trial := 0; trial < 5; trial++ {
+			emitters := NewBitset(n)
+			for v := 0; v < n; v++ {
+				if src.Intn(4) == 0 {
+					emitters.Set(v)
+				}
+			}
+			// Serial reference via the pre-existing whole-row op.
+			want := NewBitset(n)
+			emitters.ForEach(func(v int) { m.OrRowInto(want, v) })
+			for _, shards := range []int{0, 1, 2, 3, 7, 64, 1000} {
+				got := NewBitset(n)
+				got.Fill(n) // PropagateInto must fully overwrite dst
+				m.PropagateInto(got, emitters, shards)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s trial %d shards %d: word %d differs", tc.name, trial, shards, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -29,23 +29,46 @@ type Spec struct {
 	FixedP float64
 }
 
-// NewFactory builds the automaton factory for spec.
+// NewFactory builds the per-node automaton factory for spec.
 func NewFactory(spec Spec) (beep.Factory, error) {
+	factory, _, err := NewFactories(spec)
+	return factory, err
+}
+
+// NewFactories builds both execution forms of spec's algorithm: the
+// per-node automaton factory (every engine) and the columnar bulk kernel
+// (the columnar engine's fast path). The bulk factory is nil for
+// algorithms without a kernel — currently the fixed-probability strawman
+// — in which case engines fall back to per-node automata. Both forms are
+// bit-identical for any seed.
+func NewFactories(spec Spec) (beep.Factory, beep.BulkFactory, error) {
 	switch spec.Name {
 	case NameFeedback:
-		return NewFeedback(spec.Feedback)
+		factory, err := NewFeedback(spec.Feedback)
+		if err != nil {
+			return nil, nil, err
+		}
+		bulk, err := NewFeedbackBulk(spec.Feedback)
+		if err != nil {
+			return nil, nil, err
+		}
+		return factory, bulk, nil
 	case NameGlobalSweep:
-		return NewGlobalSweep(), nil
+		return NewGlobalSweep(), NewGlobalSweepBulk(), nil
 	case NameAfek:
-		return NewAfekOriginal(spec.Afek), nil
+		return NewAfekOriginal(spec.Afek), NewAfekOriginalBulk(spec.Afek), nil
 	case NameFixed:
 		p := spec.FixedP
 		if p == 0 {
 			p = 0.5
 		}
-		return NewFixedProb(p)
+		factory, err := NewFixedProb(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return factory, nil, nil
 	default:
-		return nil, fmt.Errorf("mis: unknown algorithm %q (have %v)", spec.Name, Names())
+		return nil, nil, fmt.Errorf("mis: unknown algorithm %q (have %v)", spec.Name, Names())
 	}
 }
 

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+// runColumnar executes the round loop entirely on packed words: node
+// lifecycle masks are bitsets, beeps are drawn by the algorithm's bulk
+// kernel over struct-of-arrays state, joins are one AndNot
+// (beeped &^ heard), and both exchanges are sharded word-range OR
+// passes over the adjacency matrix. Per round it does O(n/64) word
+// operations plus one rng draw per eligible node, against the per-node
+// engines' five O(n) scans and n interface calls — and it is
+// bit-identical to them: the kernel draws from the same per-node
+// streams in node order, and every mask update mirrors a scalar-loop
+// transition.
+func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int) (*Result, error) {
+	n := g.N()
+	mat := g.Matrix()
+	degrees := make([]int, n)
+	streams := make([]*rng.Source, n)
+	for v := 0; v < n; v++ {
+		degrees[v] = g.Degree(v)
+		streams[v] = master.Stream(uint64(v))
+	}
+	bulk := opts.Bulk(beep.NetworkInfo{N: n, Degrees: degrees, MaxDegree: g.MaxDegree()})
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Result{
+		InMIS:  make([]bool, n),
+		States: make([]beep.State, n),
+		Beeps:  make([]int, n),
+	}
+	active := n
+
+	// Lifecycle masks. A node is dominated iff it is in none of these
+	// three, so no fourth mask is kept.
+	activeB := graph.NewBitset(n)
+	activeB.Fill(n)
+	inMIS := graph.NewBitset(n)
+	crashed := graph.NewBitset(n)
+
+	// Per-round masks and scratch.
+	beeped := graph.NewBitset(n)
+	heard := graph.NewBitset(n)
+	joined := graph.NewBitset(n)
+	neighborJoined := graph.NewBitset(n)
+	emit := graph.NewBitset(n)    // emitter/announcer union under wake-up
+	observe := graph.NewBitset(n) // nodes still active after the step
+	newDom := graph.NewBitset(n)  // nodes dominated this step
+	hasNeighbors := graph.NewBitset(n)
+	for v := 0; v < n; v++ {
+		if degrees[v] > 0 {
+			hasNeighbors.Set(v)
+		}
+	}
+
+	// Wake-up schedule: awake accumulates as rounds pass; wakeAt[r]
+	// lists the nodes waking at round r.
+	wake := opts.WakeAt
+	var awake, eligibleScratch graph.Bitset
+	var wakeAt map[int][]int
+	if wake != nil {
+		awake = graph.NewBitset(n)
+		eligibleScratch = graph.NewBitset(n)
+		wakeAt = make(map[int][]int)
+		for v, r := range wake {
+			if r <= 1 {
+				awake.Set(v)
+			} else {
+				wakeAt[r] = append(wakeAt[r], v)
+			}
+		}
+	}
+
+	// Snapshot buffers, materialised only when a hook is installed.
+	var snapStates []beep.State
+	var snapBeeped []bool
+	var probs []float64
+
+	for round := 1; active > 0 && round <= maxRounds; round++ {
+		res.Rounds = round
+		// Crashes take effect before the exchange.
+		for _, v := range opts.CrashAtRound[round] {
+			if activeB.Test(v) {
+				activeB.Clear(v)
+				crashed.Set(v)
+				active--
+			}
+		}
+		// First exchange: the kernel draws beeps for every eligible
+		// (active and awake) node from that node's stream.
+		eligible := activeB
+		if wake != nil {
+			for _, v := range wakeAt[round] {
+				awake.Set(v)
+			}
+			copy(eligibleScratch, activeB)
+			eligibleScratch.And(awake)
+			eligible = eligibleScratch
+		}
+		beeped.Zero()
+		bulk.BeepAll(eligible, streams, beeped)
+		beeped.ForEach(func(v int) { res.Beeps[v]++ })
+		res.TotalBeeps += beeped.Count()
+		// With wake-up scheduling, established MIS members keep beeping
+		// so late wakers can never perceive silence next to them.
+		emitters := beeped
+		if wake != nil {
+			res.PersistentBeeps += inMIS.Count()
+			copy(emit, beeped)
+			emit.Or(inMIS)
+			emitters = emit
+		}
+		mat.PropagateInto(heard, emitters, shards)
+		// Join rule: beeped into silence — one word operation.
+		copy(joined, beeped)
+		joined.AndNot(heard)
+		res.JoinAnnouncements += joined.AndCount(hasNeighbors)
+		// Second exchange: join announcements (reliable); persistent
+		// MIS members re-announce so nodes waking later get dominated.
+		announcers := joined
+		if wake != nil {
+			copy(emit, joined)
+			emit.Or(inMIS)
+			announcers = emit
+		}
+		mat.PropagateInto(neighborJoined, announcers, shards)
+		// State transitions: joiners enter the MIS, eligible nodes that
+		// heard an announcement become dominated, the rest observe the
+		// step. Masks are fixed before activeB mutates (eligible may
+		// alias it).
+		copy(observe, eligible)
+		observe.AndNot(joined)
+		observe.AndNot(neighborJoined)
+		copy(newDom, eligible)
+		newDom.And(neighborJoined)
+		newDom.AndNot(joined)
+		active -= joined.Count() + newDom.Count()
+		activeB.AndNot(joined)
+		activeB.AndNot(newDom)
+		inMIS.Or(joined)
+		bulk.ObserveAll(observe, beeped, heard)
+		if opts.OnRound != nil {
+			if snapStates == nil {
+				snapStates = make([]beep.State, n)
+				snapBeeped = make([]bool, n)
+				probs = make([]float64, n)
+			}
+			materializeStates(snapStates, activeB, inMIS, crashed)
+			for v := range snapBeeped {
+				snapBeeped[v] = beeped.Test(v)
+			}
+			if pr, ok := bulk.(beep.BulkProbabilityReporter); ok {
+				pr.BeepProbabilities(probs)
+			} else {
+				for v := range probs {
+					probs[v] = math.NaN()
+				}
+			}
+			for v := range probs {
+				if snapStates[v] != beep.StateActive {
+					probs[v] = 0
+				}
+			}
+			opts.OnRound(Snapshot{Round: round, States: snapStates, Beeped: snapBeeped, Probabilities: probs, Active: active})
+		}
+	}
+
+	materializeStates(res.States, activeB, inMIS, crashed)
+	inMIS.ForEach(func(v int) { res.InMIS[v] = true })
+	res.Terminated = active == 0
+	if !res.Terminated {
+		return res, fmt.Errorf("%w: %d nodes still active after %d rounds", ErrTooManyRounds, active, maxRounds)
+	}
+	return res, nil
+}
+
+// materializeStates expands the three lifecycle masks into the per-node
+// state view the Result and Snapshot types expose.
+func materializeStates(dst []beep.State, activeB, inMIS, crashed graph.Bitset) {
+	for v := range dst {
+		switch {
+		case activeB.Test(v):
+			dst[v] = beep.StateActive
+		case inMIS.Test(v):
+			dst[v] = beep.StateInMIS
+		case crashed.Test(v):
+			dst[v] = beep.StateCrashed
+		default:
+			dst[v] = beep.StateDominated
+		}
+	}
+}

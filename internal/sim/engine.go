@@ -14,9 +14,12 @@ import (
 type Engine uint8
 
 const (
-	// EngineAuto picks EngineBitset when the graph is dense enough for
-	// word-parallel delivery to win and its packed adjacency matrix fits
-	// the memory budget, EngineScalar otherwise. This is the default.
+	// EngineAuto picks the fastest applicable engine: EngineColumnar
+	// when a bulk kernel is supplied and the graph is dense enough for
+	// word-parallel delivery to win (with the packed adjacency matrix
+	// fitting the memory budget), EngineBitset under the same density
+	// test without a kernel, EngineScalar otherwise. This is the
+	// default.
 	EngineAuto Engine = iota
 	// EngineScalar delivers beeps by walking CSR adjacency lists
 	// edge-by-edge: O(Σ deg(beeper)) per round, no extra memory. The
@@ -24,9 +27,16 @@ const (
 	EngineScalar
 	// EngineBitset delivers beeps with packed row bitsets: one OR
 	// operation informs 64 listeners, so a round costs
-	// O(beepers · n/64) words. Requires O(n²/8) bytes for the matrix
-	// and does not support BeepLoss.
+	// O(beepers · n/64) words — but the round loop around the exchanges
+	// stays per-node. Requires O(n²/8) bytes for the matrix and does
+	// not support BeepLoss.
 	EngineBitset
+	// EngineColumnar runs the whole round loop on packed words: beeps
+	// are drawn by a bulk algorithm kernel over struct-of-arrays state
+	// (Options.Bulk, required), node masks are bitsets end-to-end, and
+	// propagation is sharded across Options.Shards goroutines. Same
+	// memory requirement as EngineBitset; no BeepLoss.
+	EngineColumnar
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +48,8 @@ func (e Engine) String() string {
 		return "scalar"
 	case EngineBitset:
 		return "bitset"
+	case EngineColumnar:
+		return "columnar"
 	default:
 		return fmt.Sprintf("engine(%d)", uint8(e))
 	}
@@ -52,8 +64,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineScalar, nil
 	case "bitset":
 		return EngineBitset, nil
+	case "columnar":
+		return EngineColumnar, nil
 	default:
-		return EngineAuto, fmt.Errorf("sim: unknown engine %q (want auto, scalar, or bitset)", s)
+		return EngineAuto, fmt.Errorf("sim: unknown engine %q (want auto, scalar, bitset, or columnar)", s)
 	}
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -10,59 +12,99 @@ import (
 	"beepmis/internal/rng"
 )
 
+// engineRun is one engine configuration of the equivalence matrix.
+type engineRun struct {
+	name string
+	res  *Result
+}
+
+// runAllEngines executes the same configuration on every engine —
+// scalar, bitset, and the columnar kernel engine at shard counts 1, 3,
+// and GOMAXPROCS — and returns the labelled results. The first entry is
+// the scalar reference.
+func runAllEngines(t *testing.T, g *graph.Graph, spec mis.Spec, seed uint64, opts Options) []engineRun {
+	t.Helper()
+	factory, bulk, err := mis.NewFactories(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []engineRun
+	exec := func(name string) {
+		res, err := Run(g, factory, rng.New(seed), opts)
+		if err != nil {
+			t.Fatalf("%s engine: %v", name, err)
+		}
+		runs = append(runs, engineRun{name, res})
+	}
+	opts.Engine = EngineScalar
+	exec("scalar")
+	opts.Engine = EngineBitset
+	exec("bitset")
+	if bulk != nil {
+		opts.Engine = EngineColumnar
+		opts.Bulk = bulk
+		for _, shards := range []int{1, 3, 0} {
+			opts.Shards = shards
+			exec(fmt.Sprintf("columnar/shards=%d", shards))
+		}
+	}
+	return runs
+}
+
 // runBoth executes the same configuration on the scalar and bitset
 // engines and returns both results.
 func runBoth(t *testing.T, g *graph.Graph, spec mis.Spec, seed uint64, opts Options) (*Result, *Result) {
 	t.Helper()
-	factory, err := mis.NewFactory(spec)
-	if err != nil {
-		t.Fatal(err)
+	runs := runAllEngines(t, g, spec, seed, opts)
+	return runs[0].res, runs[1].res
+}
+
+// assertAllIdentical checks every run of an equivalence matrix against
+// the first (scalar reference) entry.
+func assertAllIdentical(t *testing.T, runs []engineRun) {
+	t.Helper()
+	for _, run := range runs[1:] {
+		assertIdenticalNamed(t, runs[0].res, run.res, runs[0].name, run.name)
 	}
-	opts.Engine = EngineScalar
-	scalar, err := Run(g, factory, rng.New(seed), opts)
-	if err != nil {
-		t.Fatalf("scalar engine: %v", err)
-	}
-	opts.Engine = EngineBitset
-	bitset, err := Run(g, factory, rng.New(seed), opts)
-	if err != nil {
-		t.Fatalf("bitset engine: %v", err)
-	}
-	return scalar, bitset
 }
 
 // assertIdentical fails unless the two results agree on every field the
 // engines promise to reproduce bit-for-bit.
 func assertIdentical(t *testing.T, scalar, bitset *Result) {
 	t.Helper()
-	if scalar.Rounds != bitset.Rounds {
-		t.Fatalf("rounds differ: scalar %d, bitset %d", scalar.Rounds, bitset.Rounds)
+	assertIdenticalNamed(t, scalar, bitset, "scalar", "bitset")
+}
+
+func assertIdenticalNamed(t *testing.T, a, b *Result, aName, bName string) {
+	t.Helper()
+	if a.Rounds != b.Rounds {
+		t.Fatalf("rounds differ: %s %d, %s %d", aName, a.Rounds, bName, b.Rounds)
 	}
-	if scalar.TotalBeeps != bitset.TotalBeeps {
-		t.Fatalf("total beeps differ: scalar %d, bitset %d", scalar.TotalBeeps, bitset.TotalBeeps)
+	if a.TotalBeeps != b.TotalBeeps {
+		t.Fatalf("total beeps differ: %s %d, %s %d", aName, a.TotalBeeps, bName, b.TotalBeeps)
 	}
-	if scalar.JoinAnnouncements != bitset.JoinAnnouncements {
-		t.Fatalf("join announcements differ: scalar %d, bitset %d",
-			scalar.JoinAnnouncements, bitset.JoinAnnouncements)
+	if a.JoinAnnouncements != b.JoinAnnouncements {
+		t.Fatalf("join announcements differ: %s %d, %s %d",
+			aName, a.JoinAnnouncements, bName, b.JoinAnnouncements)
 	}
-	if scalar.PersistentBeeps != bitset.PersistentBeeps {
-		t.Fatalf("persistent beeps differ: scalar %d, bitset %d",
-			scalar.PersistentBeeps, bitset.PersistentBeeps)
+	if a.PersistentBeeps != b.PersistentBeeps {
+		t.Fatalf("persistent beeps differ: %s %d, %s %d",
+			aName, a.PersistentBeeps, bName, b.PersistentBeeps)
 	}
-	if scalar.Terminated != bitset.Terminated {
-		t.Fatalf("termination differs: scalar %v, bitset %v", scalar.Terminated, bitset.Terminated)
+	if a.Terminated != b.Terminated {
+		t.Fatalf("termination differs: %s %v, %s %v", aName, a.Terminated, bName, b.Terminated)
 	}
-	for v := range scalar.InMIS {
-		if scalar.InMIS[v] != bitset.InMIS[v] {
-			t.Fatalf("MIS membership differs at vertex %d", v)
+	for v := range a.InMIS {
+		if a.InMIS[v] != b.InMIS[v] {
+			t.Fatalf("MIS membership differs at vertex %d (%s vs %s)", v, aName, bName)
 		}
-		if scalar.States[v] != bitset.States[v] {
-			t.Fatalf("state differs at vertex %d: scalar %v, bitset %v",
-				v, scalar.States[v], bitset.States[v])
+		if a.States[v] != b.States[v] {
+			t.Fatalf("state differs at vertex %d: %s %v, %s %v",
+				v, aName, a.States[v], bName, b.States[v])
 		}
-		if scalar.Beeps[v] != bitset.Beeps[v] {
-			t.Fatalf("beep count differs at vertex %d: scalar %d, bitset %d",
-				v, scalar.Beeps[v], bitset.Beeps[v])
+		if a.Beeps[v] != b.Beeps[v] {
+			t.Fatalf("beep count differs at vertex %d: %s %d, %s %d",
+				v, aName, a.Beeps[v], bName, b.Beeps[v])
 		}
 	}
 }
@@ -89,9 +131,9 @@ func TestEngineEquivalencePureModel(t *testing.T) {
 	for _, tg := range graphs {
 		for _, spec := range specs {
 			for seed := uint64(0); seed < 3; seed++ {
-				scalar, bitset := runBoth(t, tg.g, spec, seed, Options{})
-				assertIdentical(t, scalar, bitset)
-				if err := graph.VerifyMIS(tg.g, scalar.InMIS); err != nil {
+				runs := runAllEngines(t, tg.g, spec, seed, Options{})
+				assertAllIdentical(t, runs)
+				if err := graph.VerifyMIS(tg.g, runs[0].res.InMIS); err != nil {
 					t.Fatalf("%s/%s/seed=%d: invalid MIS: %v", tg.name, spec.Name, seed, err)
 				}
 			}
@@ -110,9 +152,9 @@ func TestEngineEquivalenceWakeup(t *testing.T) {
 		wake[v] = 1 + wakeSrc.Intn(20)
 	}
 	for seed := uint64(0); seed < 3; seed++ {
-		scalar, bitset := runBoth(t, g, mis.Spec{Name: mis.NameFeedback}, seed, Options{WakeAt: wake})
-		assertIdentical(t, scalar, bitset)
-		if scalar.PersistentBeeps == 0 {
+		runs := runAllEngines(t, g, mis.Spec{Name: mis.NameFeedback}, seed, Options{WakeAt: wake})
+		assertAllIdentical(t, runs)
+		if runs[0].res.PersistentBeeps == 0 {
 			t.Fatal("wake-up run produced no persistent beeps; test is not covering the persist path")
 		}
 	}
@@ -122,8 +164,7 @@ func TestEngineEquivalenceWakeup(t *testing.T) {
 func TestEngineEquivalenceCrashes(t *testing.T) {
 	g := graph.GNP(120, 0.4, rng.New(6))
 	crashes := map[int][]int{2: {0, 5, 17}, 4: {40, 41}}
-	scalar, bitset := runBoth(t, g, mis.Spec{Name: mis.NameFeedback}, 7, Options{CrashAtRound: crashes})
-	assertIdentical(t, scalar, bitset)
+	assertAllIdentical(t, runAllEngines(t, g, mis.Spec{Name: mis.NameFeedback}, 7, Options{CrashAtRound: crashes}))
 }
 
 // TestEngineAutoMatchesForced pins the auto engine to the same results
@@ -141,6 +182,53 @@ func TestEngineAutoMatchesForced(t *testing.T) {
 	scalar, bitset := runBoth(t, g, mis.Spec{Name: mis.NameFeedback}, 11, Options{})
 	assertIdentical(t, auto, scalar)
 	assertIdentical(t, auto, bitset)
+}
+
+// TestEngineAutoUpgradesToColumnar pins the auto heuristic: with a bulk
+// kernel supplied, auto takes the columnar engine on bitset-worthwhile
+// graphs — and its results stay identical to every other engine.
+func TestEngineAutoUpgradesToColumnar(t *testing.T) {
+	g := graph.GNP(180, 0.5, rng.New(8))
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Run(g, factory, rng.New(11), Options{Engine: EngineAuto, Bulk: bulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range runAllEngines(t, g, mis.Spec{Name: mis.NameFeedback}, 11, Options{}) {
+		assertIdenticalNamed(t, auto, run.res, "auto+bulk", run.name)
+	}
+}
+
+// TestEngineColumnarRequiresBulk asserts the explicit rejection of a
+// columnar pin without a kernel, and of Shards misuse.
+func TestEngineColumnarRequiresBulk(t *testing.T) {
+	g := graph.GNP(50, 0.5, rng.New(1))
+	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(g, factory, rng.New(1), Options{Engine: EngineColumnar})
+	if err == nil || !strings.Contains(err.Error(), "bulk kernel") {
+		t.Fatalf("columnar without Bulk: got err %v, want bulk-kernel rejection", err)
+	}
+	if _, err := Run(g, factory, rng.New(1), Options{Shards: -1}); err == nil {
+		t.Fatal("negative Shards was silently accepted")
+	}
+	// The fixed-probability strawman has no kernel: NewFactories returns
+	// a nil bulk, and auto quietly stays per-node.
+	fixedFactory, fixedBulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFixed, FixedP: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixedBulk != nil {
+		t.Fatal("fixed-probability algorithm unexpectedly has a bulk kernel; update this test")
+	}
+	if _, err := Run(g, fixedFactory, rng.New(1), Options{Engine: EngineAuto, Bulk: fixedBulk, MaxRounds: 200}); err != nil && !errors.Is(err, ErrTooManyRounds) {
+		t.Fatalf("auto with nil bulk: %v", err)
+	}
 }
 
 func TestEngineBitsetRejectsBeepLoss(t *testing.T) {
@@ -189,6 +277,7 @@ func TestParseEngine(t *testing.T) {
 		{"", EngineAuto, true},
 		{"scalar", EngineScalar, true},
 		{"bitset", EngineBitset, true},
+		{"columnar", EngineColumnar, true},
 		{"simd", EngineAuto, false},
 	} {
 		got, err := ParseEngine(tc.in)
@@ -196,7 +285,7 @@ func TestParseEngine(t *testing.T) {
 			t.Errorf("ParseEngine(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
 		}
 	}
-	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset} {
+	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset, EngineColumnar} {
 		rt, err := ParseEngine(e.String())
 		if err != nil || rt != e {
 			t.Errorf("round-trip %v failed: %v, %v", e, rt, err)
@@ -208,33 +297,56 @@ func TestParseEngine(t *testing.T) {
 // engines, not just the final results.
 func TestEnginesUnderTraceHook(t *testing.T) {
 	g := graph.GNP(90, 0.3, rng.New(4))
-	factory, err := mis.NewFactory(mis.Spec{Name: mis.NameFeedback})
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		t.Fatal(err)
 	}
 	type roundView struct {
 		beeped []bool
 		states []beep.State
+		probs  []float64
 		active int
 	}
 	capture := func(engine Engine) []roundView {
 		var views []roundView
-		_, err := Run(g, factory, rng.New(21), Options{
+		opts := Options{
 			Engine: engine,
 			OnRound: func(s Snapshot) {
 				views = append(views, roundView{
 					beeped: append([]bool(nil), s.Beeped...),
 					states: append([]beep.State(nil), s.States...),
+					probs:  append([]float64(nil), s.Probabilities...),
 					active: s.Active,
 				})
 			},
-		})
+		}
+		if engine == EngineColumnar {
+			opts.Bulk = bulk
+		}
+		_, err := Run(g, factory, rng.New(21), opts)
 		if err != nil {
 			t.Fatalf("engine %v: %v", engine, err)
 		}
 		return views
 	}
-	sv, bv := capture(EngineScalar), capture(EngineBitset)
+	sv, bv, cv := capture(EngineScalar), capture(EngineBitset), capture(EngineColumnar)
+	if len(sv) != len(cv) {
+		t.Fatalf("round counts differ: scalar %d, columnar %d", len(sv), len(cv))
+	}
+	for r := range sv {
+		if sv[r].active != cv[r].active {
+			t.Fatalf("round %d active differs: scalar %d, columnar %d", r+1, sv[r].active, cv[r].active)
+		}
+		for v := range sv[r].beeped {
+			if sv[r].beeped[v] != cv[r].beeped[v] || sv[r].states[v] != cv[r].states[v] {
+				t.Fatalf("round %d vertex %d snapshot differs (scalar vs columnar)", r+1, v)
+			}
+			if sv[r].probs[v] != cv[r].probs[v] {
+				t.Fatalf("round %d vertex %d probability differs: scalar %v, columnar %v",
+					r+1, v, sv[r].probs[v], cv[r].probs[v])
+			}
+		}
+	}
 	if len(sv) != len(bv) {
 		t.Fatalf("round counts differ: scalar %d, bitset %d", len(sv), len(bv))
 	}

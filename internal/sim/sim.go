@@ -11,12 +11,15 @@
 // per-round trace hook, used by the robustness experiments and the
 // visualising examples.
 //
-// Two interchangeable engines execute the exchanges: a scalar engine
-// that walks adjacency lists edge-by-edge, and a word-parallel bitset
-// engine that ORs packed adjacency rows, delivering beeps to 64
-// listeners per machine operation. Options.Engine selects one;
-// EngineAuto (the default) picks by graph density and size. Engines are
-// bit-identical in their results — only the wall clock differs.
+// Three interchangeable engines execute the time step: a scalar engine
+// that walks adjacency lists edge-by-edge, a word-parallel bitset
+// engine that ORs packed adjacency rows (64 listeners per machine
+// operation) under the per-node round loop, and a columnar engine that
+// additionally runs the algorithm itself as a bulk kernel over packed
+// per-node state and shards propagation across cores. Options.Engine
+// selects one; EngineAuto (the default) picks by graph density, size,
+// and kernel availability. Engines are bit-identical in their results —
+// only the wall clock differs.
 package sim
 
 import (
@@ -68,10 +71,21 @@ type Options struct {
 	// MaxRounds caps the number of time steps; 0 means DefaultMaxRounds.
 	MaxRounds int
 	// Engine selects the exchange implementation (see Engine). The
-	// default, EngineAuto, picks the bitset engine on graphs dense
-	// enough for word-parallel delivery to win. Results are identical
-	// for every engine on a given seed.
+	// default, EngineAuto, picks the fastest applicable engine on
+	// graphs dense enough for word-parallel delivery to win. Results
+	// are identical for every engine on a given seed.
 	Engine Engine
+	// Bulk, if non-nil, supplies the algorithm's columnar kernel — all
+	// nodes' state as packed arrays (see beep.BulkAutomaton). Required
+	// by EngineColumnar; EngineAuto upgrades to the columnar engine
+	// when it is present. Ignored by the per-node engines.
+	Bulk beep.BulkFactory
+	// Shards bounds the goroutines the columnar engine fans
+	// propagation out to, partitioned by destination word ranges. 0
+	// means GOMAXPROCS; 1 keeps propagation on the calling goroutine.
+	// Results are bit-identical for every value — workers own disjoint
+	// destination words and OR is order-independent.
+	Shards int
 	// BeepLoss is the probability that a given neighbour fails to hear a
 	// given beep in the first exchange (each beeper→listener pair drawn
 	// independently). Join announcements (second exchange) are assumed
@@ -135,21 +149,30 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	if opts.BeepLoss < 0 || opts.BeepLoss >= 1 {
 		return nil, fmt.Errorf("sim: beep loss %v outside [0,1)", opts.BeepLoss)
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("sim: Shards %d negative (0 = GOMAXPROCS, 1 = serial)", opts.Shards)
+	}
 	engine := opts.Engine
 	switch engine {
 	case EngineAuto:
 		engine = EngineScalar
 		if opts.BeepLoss == 0 && bitsetWorthwhile(g) {
 			engine = EngineBitset
+			if opts.Bulk != nil {
+				engine = EngineColumnar
+			}
 		}
 	case EngineScalar:
-	case EngineBitset:
+	case EngineBitset, EngineColumnar:
 		if opts.BeepLoss > 0 {
 			// Loss is drawn per (beeper, listener) edge in adjacency
 			// order; a word-parallel exchange has no per-edge step to
 			// draw it in, so the combination is refused rather than
 			// silently changing the random sequence.
 			return nil, fmt.Errorf("sim: engine %v does not support BeepLoss (use scalar or auto)", engine)
+		}
+		if engine == EngineColumnar && opts.Bulk == nil {
+			return nil, fmt.Errorf("sim: engine %v requires a bulk kernel (Options.Bulk); the algorithm may not have one", engine)
 		}
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %v", engine)
@@ -161,6 +184,12 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	n := g.N()
 	if opts.WakeAt != nil && len(opts.WakeAt) != n {
 		return nil, fmt.Errorf("sim: WakeAt has %d entries for %d nodes", len(opts.WakeAt), n)
+	}
+	if err := validateCrashes(n, opts.CrashAtRound); err != nil {
+		return nil, err
+	}
+	if engine == EngineColumnar {
+		return runColumnar(g, master, opts, maxRounds)
 	}
 	wake := opts.WakeAt
 	maxDeg := g.MaxDegree()
@@ -205,8 +234,10 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	for round := 1; active > 0 && round <= maxRounds; round++ {
 		res.Rounds = round
 		// Fault injection: crashes take effect before the exchange.
+		// (Entries are range- and duplicate-checked up front; a listed
+		// node that already terminated is a no-op.)
 		for _, v := range opts.CrashAtRound[round] {
-			if v >= 0 && v < n && res.States[v] == beep.StateActive {
+			if res.States[v] == beep.StateActive {
 				res.States[v] = beep.StateCrashed
 				active--
 			}
@@ -325,4 +356,32 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 		return res, fmt.Errorf("%w: %d nodes still active after %d rounds", ErrTooManyRounds, active, maxRounds)
 	}
 	return res, nil
+}
+
+// validateCrashes rejects malformed Options.CrashAtRound schedules up
+// front: node ids outside [0, n), rounds before the first time step, and
+// nodes scheduled to crash more than once. Silently skipping such
+// entries (the historical behaviour) hid typos in fault-injection
+// experiments — a crash that never happens looks exactly like
+// robustness.
+func validateCrashes(n int, crashes map[int][]int) error {
+	if len(crashes) == 0 {
+		return nil
+	}
+	crashRound := make(map[int]int, len(crashes))
+	for round, nodes := range crashes {
+		if round < 1 {
+			return fmt.Errorf("sim: CrashAtRound round %d invalid (rounds are 1-based)", round)
+		}
+		for _, v := range nodes {
+			if v < 0 || v >= n {
+				return fmt.Errorf("sim: CrashAtRound[%d] lists node %d outside [0, %d)", round, v, n)
+			}
+			if prev, dup := crashRound[v]; dup {
+				return fmt.Errorf("sim: node %d scheduled to crash twice (rounds %d and %d)", v, min(prev, round), max(prev, round))
+			}
+			crashRound[v] = round
+		}
+	}
+	return nil
 }

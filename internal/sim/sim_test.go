@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -239,9 +240,34 @@ func TestRunCrashInjection(t *testing.T) {
 	}
 }
 
-func TestRunCrashOutOfRangeIgnored(t *testing.T) {
+// TestRunCrashScheduleValidation pins the up-front rejection of
+// malformed crash schedules. These used to be skipped silently, which
+// made fault-injection typos indistinguishable from robustness.
+func TestRunCrashScheduleValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		crashes map[int][]int
+		wantErr string
+	}{
+		{"negative-node", map[int][]int{1: {-5}}, "outside [0, 2)"},
+		{"node-too-large", map[int][]int{1: {99}}, "outside [0, 2)"},
+		{"round-zero", map[int][]int{0: {1}}, "1-based"},
+		{"double-crash-same-round", map[int][]int{1: {0, 0}}, "crash twice"},
+		{"double-crash-across-rounds", map[int][]int{1: {0}, 3: {0}}, "crash twice"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(graph.Empty(2), feedbackFactory(t), rng.New(17), Options{
+				CrashAtRound: tc.crashes,
+			})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got err %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+	// A valid schedule — including a node that terminates before its
+	// crash round, which is a legitimate no-op — still runs.
 	res, err := Run(graph.Empty(2), feedbackFactory(t), rng.New(17), Options{
-		CrashAtRound: map[int][]int{1: {-5, 99}},
+		CrashAtRound: map[int][]int{1: {0}, 500: {1}},
 	})
 	if err != nil {
 		t.Fatal(err)
