@@ -15,7 +15,10 @@ import (
 
 // benchRecord is one engine measurement of the -bench mode, emitted as
 // JSON with -json so the benchmark trajectory can be tracked across
-// revisions by machines rather than by reading prose.
+// revisions by machines rather than by reading prose. The goversion /
+// gomaxprocs / timestamp fields identify the toolchain, the core budget
+// and the moment of the measurement, so trajectory files collected on
+// different machines (or months apart) stay comparable.
 type benchRecord struct {
 	Engine     string  `json:"engine"`
 	Shards     int     `json:"shards"`
@@ -26,6 +29,9 @@ type benchRecord struct {
 	Beeps      float64 `json:"beeps"`
 	NsPerRound float64 `json:"ns_per_round"`
 	NsPerRun   float64 `json:"ns_per_run"`
+	GoVersion  string  `json:"goversion"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Timestamp  string  `json:"timestamp"` // ISO-8601 (RFC 3339), UTC
 }
 
 // runEngineBench times whole simulation runs of the feedback algorithm
@@ -91,6 +97,9 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 			Beeps:      beeps / float64(runs),
 			NsPerRound: float64(elapsed.Nanoseconds()) / rounds,
 			NsPerRun:   float64(elapsed.Nanoseconds()) / float64(runs),
+			GoVersion:  runtime.Version(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		}
 		if asJSON {
 			if err := enc.Encode(rec); err != nil {

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	goruntime "runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // benchArgs is a small, fast -bench workload shared by the tests.
@@ -38,6 +40,18 @@ func TestBenchJSONOutput(t *testing.T) {
 		}
 		if rec.Rounds <= 0 || rec.Beeps <= 0 || rec.NsPerRound <= 0 || rec.NsPerRun <= 0 {
 			t.Fatalf("record metrics not positive: %+v", rec)
+		}
+		// Environment stamps make trajectory files comparable across
+		// machines and toolchains.
+		if rec.GoVersion != goruntime.Version() || rec.GoMaxProcs != goruntime.GOMAXPROCS(0) {
+			t.Fatalf("environment stamp wrong: %+v", rec)
+		}
+		ts, err := time.Parse(time.RFC3339, rec.Timestamp)
+		if err != nil {
+			t.Fatalf("timestamp %q is not ISO-8601/RFC3339: %v", rec.Timestamp, err)
+		}
+		if age := time.Since(ts); age < -time.Minute || age > time.Hour {
+			t.Fatalf("timestamp %q not near now", rec.Timestamp)
 		}
 	}
 	for _, name := range []string{"scalar", "bitset", "columnar"} {

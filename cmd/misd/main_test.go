@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the server goroutine log while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeSubmitShutdown boots the real binary path on an ephemeral
+// port, submits a golden scenario file over HTTP, fetches the result,
+// and shuts down via context cancellation — the SIGINT path.
+func TestServeSubmitShutdown(t *testing.T) {
+	spec, err := os.ReadFile("../../scenarios/quickstart.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan net.Addr, 1)
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-grace", "5s"}, &out, func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-errCh:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/scenarios", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Poll until done (the quickstart spec takes well under a second).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/scenarios/" + sub.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			var report struct {
+				Hash string `json:"hash"`
+			}
+			if err := json.Unmarshal(body, &report); err != nil || report.Hash != sub.ID {
+				t.Fatalf("result %s: %v", body, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: last %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never shut down")
+	}
+	if !strings.Contains(out.String(), "misd: stopped") {
+		t.Fatalf("missing shutdown log in %q", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-jobs", "0"}, io.Discard, nil); err == nil {
+		t.Fatal("-jobs 0 accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:-1"}, io.Discard, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -1,5 +1,6 @@
 // Command misrun executes one MIS algorithm on one graph and reports the
-// outcome.
+// outcome — or, with -scenario, executes a declarative scenario spec
+// file and prints its result JSON.
 //
 // Usage:
 //
@@ -7,9 +8,17 @@
 //	misrun -graph grid -rows 20 -cols 20 -algo globalsweep
 //	misrun -graph file -in network.edges -algo luby-permutation -show-set
 //	misrun -graph gnp -n 100 -algo feedback -engine concurrent
+//	misrun -scenario scenarios/quickstart.json
+//	misrun -scenario sweep.json -hash
+//
+// A scenario run prints exactly the bytes a misd server would cache and
+// serve for the same spec (the result JSON is a pure function of the
+// spec's content hash), so files are interchangeable between the CLI
+// and the service.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +26,7 @@ import (
 
 	"beepmis"
 	"beepmis/internal/graph"
+	"beepmis/internal/scenario"
 )
 
 func main() {
@@ -42,9 +52,30 @@ func run(args []string, stdout io.Writer) error {
 		engine    = fs.String("engine", "sim", "execution engine: sim or concurrent")
 		showSet   = fs.Bool("show-set", false, "print the selected vertex set")
 		maxRounds = fs.Int("max-rounds", 0, "cap on synchronous rounds (0 = default)")
+		scenarioF = fs.String("scenario", "", "run a declarative scenario spec file and print its result JSON")
+		hashOnly  = fs.Bool("hash", false, "with -scenario: print the spec's content hash and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenarioF != "" {
+		// The one-graph flags describe a workload the scenario file
+		// replaces; a mixture is a mistake, not a merge.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "hash":
+			default:
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-scenario conflicts with -%s (the spec file describes the whole workload)", conflict)
+		}
+		return runScenario(*scenarioF, *hashOnly, stdout)
+	}
+	if *hashOnly {
+		return fmt.Errorf("-hash requires -scenario")
 	}
 	if *algos {
 		for _, a := range beepmis.Algorithms() {
@@ -87,6 +118,29 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "set: %v\n", graph.SetToList(res.InMIS))
 	}
 	return nil
+}
+
+// runScenario executes (or just hashes) a scenario spec file, printing
+// the same result bytes a misd server caches for the spec.
+func runScenario(path string, hashOnly bool, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open scenario: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	compiled, err := scenario.ParseCompiled(f)
+	if err != nil {
+		return err
+	}
+	if hashOnly {
+		fmt.Fprintln(stdout, compiled.Hash)
+		return nil
+	}
+	report, err := scenario.Run(context.Background(), compiled, scenario.RunOptions{})
+	if err != nil {
+		return err
+	}
+	return report.WriteJSON(stdout)
 }
 
 func buildGraph(kind string, n int, p float64, rows, cols int, radius float64, in string, seed uint64) (*beepmis.Graph, error) {

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"beepmis/internal/service"
+)
+
+const scenarioDoc = `{
+  "name": "cli/service round trip",
+  "graph": {"family": "gnp", "n": 70, "p": 0.4},
+  "algorithm": "feedback",
+  "trials": 4,
+  "seed": 23
+}`
+
+func writeScenario(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScenarioFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", writeScenario(t, scenarioDoc)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Hash  string `json:"hash"`
+		Units []struct {
+			Trials   int  `json:"trials"`
+			Verified bool `json:"verified"`
+		} `json:"units"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("scenario output is not a report: %v\n%s", err, out.String())
+	}
+	if len(report.Units) != 1 || report.Units[0].Trials != 4 || !report.Units[0].Verified {
+		t.Fatalf("report %s", out.String())
+	}
+}
+
+func TestScenarioHashFlag(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-scenario", writeScenario(t, scenarioDoc), "-hash"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	// Engine/shards/workers are performance knobs; the hash must not move.
+	tuned := strings.Replace(scenarioDoc, `"trials": 4,`, `"trials": 4, "engine": "scalar", "workers": 2,`, 1)
+	if err := run([]string{"-scenario", writeScenario(t, tuned), "-hash"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() || len(strings.TrimSpace(a.String())) != 64 {
+		t.Fatalf("hashes differ or malformed: %q vs %q", a.String(), b.String())
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "/definitely/missing.json"},
+		{"-scenario", "spec.json", "-n", "50"}, // workload flags conflict
+		{"-hash"},                              // -hash without -scenario
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+	bad := writeScenario(t, `{"graph":{"family":"gnp","n":0,"p":0.5},"algorithm":"feedback"}`)
+	if err := run([]string{"-scenario", bad}, &bytes.Buffer{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestScenarioRoundTripWithService is the PR's acceptance criterion:
+// the same spec file through `misrun -scenario` and through a misd-style
+// HTTP submission produces byte-identical result JSON, and resubmitting
+// is served from the cache without re-execution.
+func TestScenarioRoundTripWithService(t *testing.T) {
+	var cli bytes.Buffer
+	if err := run([]string{"-scenario", writeScenario(t, scenarioDoc)}, &cli); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr := service.New(service.Options{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Close(ctx)
+	}()
+	srv := httptest.NewServer(mgr.Handler())
+	defer srv.Close()
+
+	submit := func() (id string, cached bool) {
+		resp, err := http.Post(srv.URL+"/v1/scenarios", "application/json", strings.NewReader(scenarioDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sub struct {
+			ID     string `json:"id"`
+			Cached bool   `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub.ID, sub.Cached
+	}
+
+	id, cached := submit()
+	if cached {
+		t.Fatal("first submission reported cached")
+	}
+	job, ok := mgr.Job(id)
+	if !ok {
+		t.Fatalf("job %s missing", id)
+	}
+	select {
+	case <-mgr.Done(job):
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never finished")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/scenarios/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(cli.Bytes(), httpBytes) {
+		t.Fatalf("misrun -scenario and HTTP result bytes differ:\ncli:  %s\nhttp: %s", cli.String(), httpBytes)
+	}
+
+	// Resubmission: cache hit, still exactly one execution recorded.
+	if _, cached := submit(); !cached {
+		t.Fatal("resubmission was not served from the cache")
+	}
+	if stats := mgr.StatsNow(); stats.Done != 1 || stats.Jobs != 1 {
+		t.Fatalf("stats after resubmit: %+v, want one cached job", stats)
+	}
+}

@@ -163,7 +163,7 @@ func runAblateLoss(cfg Config) (*Result, error) {
 	for li, loss := range losses {
 		rounds := make([]float64, trials)
 		violated := make([]bool, trials)
-		err := forTrials(cfg.workers(), trials, func(trial int) error {
+		err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(li, trial, 1)))
 			opts := cfg.simOpts(bulk)
 			opts.Engine = engine

@@ -36,7 +36,7 @@ func runLuby(cfg Config) (*Result, error) {
 		for si, n := range ns {
 			rounds := make([]float64, trials)
 			bitSlots := make([]float64, trials)
-			err := forTrials(cfg.workers(), trials, func(trial int) error {
+			err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 				g := graph.GNP(n, 0.5, master.Stream(trialKey(vi*1000+si, trial, 1)))
 				lr, err := mis.Luby(g, variant, master.Stream(trialKey(vi*1000+si, trial, 2)))
 				if err != nil {

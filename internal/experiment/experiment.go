@@ -56,7 +56,7 @@ type Config struct {
 // the pool is serial.
 func (c Config) simOpts(bulk beep.BulkFactory) sim.Options {
 	shards := c.Shards
-	if shards == 0 && c.workers() > 1 {
+	if shards == 0 && c.EffectiveWorkers() > 1 {
 		shards = 1
 	}
 	return sim.Options{Engine: c.Engine, Bulk: bulk, Shards: shards}

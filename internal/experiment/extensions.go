@@ -49,7 +49,7 @@ func runBits(cfg Config) (*Result, error) {
 	for si, n := range ns {
 		slots := make([]float64, trials)
 		ok := make([]bool, trials)
-		err := forTrials(cfg.workers(), trials, func(trial int) error {
+		err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(si, trial, 1)))
 			r, err := sim.Run(g, factory, master.Stream(trialKey(si, trial, 2)), cfg.simOpts(bulk))
 			if err != nil {
@@ -80,7 +80,7 @@ func runBits(cfg Config) (*Result, error) {
 	for si, n := range ns {
 		slots := make([]float64, trials)
 		ok := make([]bool, trials)
-		err := forTrials(cfg.workers(), trials, func(trial int) error {
+		err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(1000+si, trial, 1)))
 			r := mis.Metivier(g, master.Stream(trialKey(1000+si, trial, 2)))
 			if g.M() > 0 {
@@ -105,7 +105,7 @@ func runBits(cfg Config) (*Result, error) {
 	for si, n := range ns {
 		slots := make([]float64, trials)
 		ok := make([]bool, trials)
-		err := forTrials(cfg.workers(), trials, func(trial int) error {
+		err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(2000+si, trial, 1)))
 			r, err := mis.Luby(g, mis.LubyProbability, master.Stream(trialKey(2000+si, trial, 2)))
 			if err != nil {
@@ -164,7 +164,7 @@ func runWakeup(cfg Config) (*Result, error) {
 		vals := make([]float64, trials)
 		exVals := make([]float64, trials)
 		bad := make([]bool, trials)
-		err := forTrials(cfg.workers(), trials, func(trial int) error {
+		err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 			g := graph.GNP(n, 0.5, master.Stream(trialKey(wi, trial, 1)))
 			wakeSrc := master.Stream(trialKey(wi, trial, 3))
 			wake := make([]int, g.N())

@@ -70,7 +70,7 @@ func runAblateJitter(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	bad := make([]bool, trials)
-	if err := forTrials(cfg.workers(), trials, func(trial int) error {
+	if err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 		g := graph.GNP(200, 0.5, master.Stream(trialKey(9000, trial, 1)))
 		r, err := sim.Run(g, factory, master.Stream(trialKey(9000, trial, 2)), cfg.simOpts(nil))
 		if err != nil {

@@ -6,17 +6,22 @@ import (
 	"sync/atomic"
 )
 
-// workers resolves Config.Workers to the effective trial pool size.
-func (c Config) workers() int {
+// EffectiveWorkers resolves Config.Workers to the effective trial pool
+// size (GOMAXPROCS when unset). Exported for the scenario runner, which
+// shares the pool.
+func (c Config) EffectiveWorkers() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
-// forTrials runs fn(trial) for every trial in [0, trials) on a bounded
+// ForTrials runs fn(trial) for every trial in [0, trials) on a bounded
 // pool of workers goroutines. On failure it stops handing out new trials
-// and returns the lowest-indexed error among the trials that ran.
+// and returns the lowest-indexed error among the trials that ran. It is
+// exported because it is the repo's one trial pool: the scenario runner
+// (internal/scenario) executes declarative workloads on it with exactly
+// the determinism contract below.
 //
 // Determinism contract: trials are embarrassingly parallel because every
 // trial draws from its own rng streams (derived from the master seed and
@@ -24,7 +29,7 @@ func (c Config) workers() int {
 // results into per-trial slots which they aggregate in index order after
 // the pool drains. Consequently the output is bit-identical for any
 // worker count, including the sequential workers == 1 path.
-func forTrials(workers, trials int, fn func(trial int) error) error {
+func ForTrials(workers, trials int, fn func(trial int) error) error {
 	if trials <= 0 {
 		return nil
 	}

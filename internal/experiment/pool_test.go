@@ -12,7 +12,7 @@ import (
 func TestForTrialsRunsEveryTrial(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		var ran [50]atomic.Int32
-		err := forTrials(workers, 50, func(trial int) error {
+		err := ForTrials(workers, 50, func(trial int) error {
 			ran[trial].Add(1)
 			return nil
 		})
@@ -29,7 +29,7 @@ func TestForTrialsRunsEveryTrial(t *testing.T) {
 
 func TestForTrialsErrorPropagation(t *testing.T) {
 	boom := errors.New("boom")
-	err := forTrials(1, 10, func(trial int) error {
+	err := ForTrials(1, 10, func(trial int) error {
 		if trial >= 3 {
 			return boom
 		}
@@ -38,7 +38,7 @@ func TestForTrialsErrorPropagation(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("got %v, want %v", err, boom)
 	}
-	if err := forTrials(4, 0, func(int) error { return boom }); err != nil {
+	if err := ForTrials(4, 0, func(int) error { return boom }); err != nil {
 		t.Fatalf("zero trials returned %v", err)
 	}
 }

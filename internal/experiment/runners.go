@@ -85,7 +85,7 @@ func sweepPoint(
 	capped := make([]bool, trials)
 	opts := cfg.simOpts(bulk)
 	opts.MaxRounds = maxRounds
-	err := forTrials(cfg.workers(), trials, func(trial int) error {
+	err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 		g := gen(master.Stream(trialKey(sizeIdx, trial, 1)))
 		res, err := sim.Run(g, factory, master.Stream(trialKey(sizeIdx, trial, 2)), opts)
 		if err != nil {

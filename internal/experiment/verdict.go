@@ -46,7 +46,7 @@ func Verdict(cfg Config) ([]Check, error) {
 		invalid                     bool
 	}
 	gnpTrials := make([]gnpTrial, trials)
-	err = forTrials(cfg.workers(), trials, func(trial int) error {
+	err = ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 		g := graph.GNP(n, 0.5, master.Stream(trialKey(1, trial, 1)))
 		fb, err := sim.Run(g, feedback, master.Stream(trialKey(1, trial, 2)), cfg.simOpts(feedbackBulk))
 		if err != nil {
@@ -88,7 +88,7 @@ func Verdict(cfg Config) ([]Check, error) {
 	cf := graph.CliqueFamily(936)
 	cfFbSlots := make([]float64, trials)
 	cfSwSlots := make([]float64, trials)
-	err = forTrials(cfg.workers(), trials, func(trial int) error {
+	err = ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
 		a, err := sim.Run(cf, feedback, master.Stream(trialKey(2, trial, 1)), cfg.simOpts(feedbackBulk))
 		if err != nil {
 			return err

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse asserts the scenario parser's total-validation contract:
+// arbitrary bytes either parse into a spec whose Compile also succeeds,
+// or return an error — never a panic, and never a spec that validates
+// but cannot compile. (Service submissions feed attacker-controlled
+// bytes straight into this path.)
+func FuzzParse(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback"}`),
+		[]byte(`{"graph":{"family":"grid","rows":4,"cols":4},"algorithm":"globalsweep","trials":2}`),
+		[]byte(`{"graph":{"family":"hypercube","d":4},"algorithm":"afek","seed":3}`),
+		[]byte(`{"graph":{"family":"unitdisk","n":100,"radius":0.2},"algorithm":"feedback","wake_window":8}`),
+		[]byte(`{"graph":{"family":"gnp","p":0.5},"algorithm":"feedback","sweep":{"n":[10,20],"algorithm":["feedback","afek"]}}`),
+		[]byte(`{"graph":{"family":"gnp","n":20,"p":0.5},"algorithm":"feedback","crash_at_round":{"2":[1,2]}}`),
+		[]byte(`{"graph":{"family":"gnp","n":-5,"p":2},"algorithm":"feedback"}`),
+		[]byte(`{"graph":{"family":"gnp","n":1e9,"p":0.5},"algorithm":"feedback"}`),
+		[]byte(`{"graph":{"family":"banana","n":10},"algorithm":"feedback"}`),
+		[]byte(`{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"nope","shards":-3}`),
+		[]byte(`{`),
+		[]byte(`null`),
+		[]byte(`[]`),
+		[]byte(`{"graph":null,"algorithm":null}`),
+		[]byte(`{"graph":{"family":"randomregular","n":10,"d":3},"algorithm":"fixed","fixed_p":-1}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parse validates via Compile, so a parsed spec must compile,
+		// hash, and canonicalise — and do all three deterministically.
+		c1, err := spec.Compile()
+		if err != nil {
+			t.Fatalf("Parse accepted a spec Compile rejects: %v\n%s", err, data)
+		}
+		c2, err := spec.Compile()
+		if err != nil {
+			t.Fatalf("second Compile failed: %v", err)
+		}
+		if c1.Hash != c2.Hash || !bytes.Equal(c1.Canonical, c2.Canonical) {
+			t.Fatalf("Compile is not deterministic for %s", data)
+		}
+		if len(c1.Units) == 0 || len(c1.Units) > MaxUnits {
+			t.Fatalf("compiled to %d units", len(c1.Units))
+		}
+	})
+}

@@ -1,0 +1,373 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, doc string) *Spec {
+	t.Helper()
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", doc, err)
+	}
+	return s
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"empty", ``, "parse"},
+		{"not json", `{]`, "parse"},
+		{"unknown field", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","trails":3}`, "trails"},
+		{"trailing doc", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback"} {}`, "trailing"},
+		{"unknown family", `{"graph":{"family":"smallworld","n":10},"algorithm":"feedback"}`, "unknown graph family"},
+		{"unknown algorithm", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"quantum"}`, "unknown algorithm"},
+		{"n too large", `{"graph":{"family":"gnp","n":99999999,"p":0.5},"algorithm":"feedback"}`, "outside"},
+		{"n zero", `{"graph":{"family":"gnp","n":0,"p":0.5},"algorithm":"feedback"}`, "outside"},
+		{"p negative", `{"graph":{"family":"gnp","n":10,"p":-0.5},"algorithm":"feedback"}`, "outside"},
+		{"p above one", `{"graph":{"family":"gnp","n":10,"p":1.5},"algorithm":"feedback"}`, "outside"},
+		{"too many edges", `{"graph":{"family":"gnp","n":1000000,"p":0.9},"algorithm":"feedback"}`, "edges"},
+		{"negative shards", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","shards":-1}`, "shards"},
+		{"shards on scalar", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","engine":"scalar","shards":2}`, "conflicts"},
+		{"loss on bitset", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","engine":"bitset","beep_loss":0.1}`, "beep_loss"},
+		{"loss out of range", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","beep_loss":1}`, "beep_loss"},
+		{"trials too large", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","trials":1000001}`, "trials"},
+		{"bad engine", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","engine":"warp"}`, "engine"},
+		{"columnar without kernel", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"fixed","engine":"columnar"}`, "bulk kernel"},
+		{"crash round zero", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","crash_at_round":{"0":[1]}}`, "1-based"},
+		{"crash node range", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","crash_at_round":{"2":[10]}}`, "outside"},
+		{"crash duplicate", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","crash_at_round":{"2":[3],"4":[3]}}`, "twice"},
+		{"negative wake", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","wake_window":-1}`, "wake_window"},
+		{"sweep too big", `{"graph":{"family":"gnp","p":0.5},"algorithm":"feedback","sweep":{"n":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24,25,26,27,28,29,30],"p":[0.1,0.2,0.3],"algorithm":["feedback","globalsweep","afek"]}}`, "units"},
+		{"sweep p on grid", `{"graph":{"family":"grid","rows":4,"cols":4},"algorithm":"feedback","sweep":{"p":[0.1,0.2]}}`, "not parameterised by p"},
+		{"sweep n on hypercube", `{"graph":{"family":"hypercube","d":4},"algorithm":"feedback","sweep":{"n":[16,32]}}`, "not parameterised by n"},
+		{"hypercube too deep", `{"graph":{"family":"hypercube","d":40},"algorithm":"feedback"}`, "dimension"},
+		{"ba attachment", `{"graph":{"family":"barabasialbert","n":100,"m":0},"algorithm":"feedback"}`, "attachment"},
+		{"ws odd k", `{"graph":{"family":"wattsstrogatz","n":100,"k":3,"beta":0.1},"algorithm":"feedback"}`, "even"},
+		{"unitdisk radius", `{"graph":{"family":"unitdisk","n":100,"radius":0},"algorithm":"feedback"}`, "radius"},
+		{"grid no dims", `{"graph":{"family":"grid"},"algorithm":"feedback"}`, "rows"},
+		{"stray radius on gnp", `{"graph":{"family":"gnp","n":10,"p":0.5,"radius":0.3},"algorithm":"feedback"}`, "not used by family"},
+		{"stray rows on gnp", `{"graph":{"family":"gnp","n":10,"p":0.5,"rows":7},"algorithm":"feedback"}`, "not used by family"},
+		{"stray n on grid", `{"graph":{"family":"grid","rows":3,"cols":3,"n":9},"algorithm":"feedback"}`, "not used by family"},
+		{"seed on deterministic family", `{"graph":{"family":"hypercube","d":4,"seed":7},"algorithm":"feedback"}`, "deterministic family"},
+		{"regular odd product", `{"graph":{"family":"randomregular","n":5,"d":3},"algorithm":"feedback"}`, "even"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHashIgnoresPerformanceKnobs(t *testing.T) {
+	base := mustParse(t, `{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9}`)
+	variants := []string{
+		`{"name":"labelled","graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9}`,
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"engine":"columnar"}`,
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"shards":4}`,
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"workers":7}`,
+		// Explicit defaults hash like omitted ones.
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"engine":"auto","feedback":{"factor":2}}`,
+	}
+	want, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range variants {
+		got, err := mustParse(t, doc).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("spec %s hashed %s, want %s (performance knobs must not split the cache)", doc, got, want)
+		}
+	}
+
+	// Semantic changes must change the hash.
+	different := []string{
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":10}`,
+		`{"graph":{"family":"gnp","n":51,"p":0.5},"algorithm":"feedback","trials":3,"seed":9}`,
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"globalsweep","trials":3,"seed":9}`,
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":4,"seed":9}`,
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"feedback":{"factor":3}}`,
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"wake_window":8}`,
+	}
+	for _, doc := range different {
+		got, err := mustParse(t, doc).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want {
+			t.Errorf("spec %s hashed like the base spec; semantic fields must split the cache", doc)
+		}
+	}
+}
+
+// TestEqualHashMeansEqualBytes is the cache-soundness contract at its
+// sharpest: specs that hash equal but differ in non-semantic fields
+// (the free-form name, perf knobs, crash-list order, an unused base
+// algorithm under a sweep) must produce byte-identical reports.
+func TestEqualHashMeansEqualBytes(t *testing.T) {
+	pairs := [][2]string{
+		{
+			`{"name":"alice","graph":{"family":"gnp","n":40,"p":0.5},"algorithm":"feedback","trials":2,"seed":4}`,
+			`{"name":"bob","graph":{"family":"gnp","n":40,"p":0.5},"algorithm":"feedback","trials":2,"seed":4,"engine":"scalar","workers":3}`,
+		},
+		{
+			`{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"feedback","trials":2,"crash_at_round":{"3":[1,2,5]}}`,
+			`{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"feedback","trials":2,"crash_at_round":{"3":[5,2,1]}}`,
+		},
+		{
+			`{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"feedback","trials":2,"sweep":{"algorithm":["globalsweep"]}}`,
+			`{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"globalsweep","trials":2,"sweep":{"algorithm":["globalsweep"]}}`,
+		},
+		// A one-point sweep axis folds into the plain base field.
+		{
+			`{"graph":{"family":"gnp","p":0.5},"algorithm":"feedback","trials":2,"sweep":{"n":[30]}}`,
+			`{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"feedback","trials":2}`,
+		},
+	}
+	for _, pair := range pairs {
+		var hashes [2]string
+		var bodies [2]string
+		for i, doc := range pair {
+			c, err := mustParse(t, doc).Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(context.Background(), c, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes[i], bodies[i] = c.Hash, string(b)
+		}
+		if hashes[0] != hashes[1] {
+			t.Errorf("pair %v hashed %s vs %s, want equal", pair, hashes[0], hashes[1])
+		}
+		if bodies[0] != bodies[1] {
+			t.Errorf("pair %v produced different report bytes despite equal hashes", pair)
+		}
+	}
+}
+
+func TestSweepStillValidatesBaseAlgorithm(t *testing.T) {
+	_, err := Parse(strings.NewReader(
+		`{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"bogus","sweep":{"algorithm":["feedback"]}}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("typo'd base algorithm under a sweep: err=%v, want unknown-algorithm", err)
+	}
+	// An omitted base is fine when the sweep supplies the algorithms.
+	if _, err := Parse(strings.NewReader(
+		`{"graph":{"family":"gnp","n":30,"p":0.5},"sweep":{"algorithm":["feedback"]}}`)); err != nil {
+		t.Fatalf("sweep-only algorithms rejected: %v", err)
+	}
+}
+
+func TestSeedZeroNormalisesToOne(t *testing.T) {
+	a := mustParse(t, `{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"feedback"}`)
+	b := mustParse(t, `{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"feedback","seed":1,"trials":1}`)
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha != hb {
+		t.Fatalf("unseeded spec hashed %s, explicit seed-1 spec %s; defaults must normalise", ha, hb)
+	}
+}
+
+func TestCompileExpandsSweepDeterministically(t *testing.T) {
+	s := mustParse(t, `{"graph":{"family":"gnp","p":0.5},"algorithm":"feedback",
+		"sweep":{"n":[20,40],"p":[0.2,0.8],"algorithm":["globalsweep","feedback"]}}`)
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Units) != 8 {
+		t.Fatalf("got %d units, want 8", len(c.Units))
+	}
+	// Order: algorithms × n × p, as documented.
+	wantAlgo := []string{"globalsweep", "globalsweep", "globalsweep", "globalsweep", "feedback", "feedback", "feedback", "feedback"}
+	wantN := []int{20, 20, 40, 40, 20, 20, 40, 40}
+	wantP := []float64{0.2, 0.8, 0.2, 0.8, 0.2, 0.8, 0.2, 0.8}
+	for i, u := range c.Units {
+		if u.Index != i || u.Algorithm != wantAlgo[i] || u.N != wantN[i] || u.P != wantP[i] {
+			t.Errorf("unit %d = (%s, n=%d, p=%v), want (%s, n=%d, p=%v)",
+				i, u.Algorithm, u.N, u.P, wantAlgo[i], wantN[i], wantP[i])
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkersAndEngines(t *testing.T) {
+	doc := `{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5}`
+	var want []byte
+	for _, variant := range []string{
+		doc,
+		`{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5,"workers":4}`,
+		`{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5,"engine":"scalar"}`,
+		`{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5,"engine":"columnar","shards":3}`,
+	} {
+		c, err := mustParse(t, variant).Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), c, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b
+			continue
+		}
+		if string(b) != string(want) {
+			t.Fatalf("variant %s produced different report bytes; engines/workers/shards must not affect results", variant)
+		}
+	}
+}
+
+func TestRunPinnedGraphSeed(t *testing.T) {
+	// A pinned graph seed runs every trial on one instance: edge count
+	// has zero variance across trials, unlike the per-trial default.
+	pinned := mustParse(t, `{"graph":{"family":"gnp","n":60,"p":0.4,"seed":3},"algorithm":"feedback","trials":4}`)
+	c, err := pinned.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), c, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := rep.Units[0]
+	if u.Edges != float64(int(u.Edges)) {
+		t.Fatalf("pinned-seed unit has fractional mean edge count %v; trials must share one instance", u.Edges)
+	}
+	if !u.Verified {
+		t.Fatal("pinned-seed unit failed MIS verification")
+	}
+}
+
+func TestRunEmitsProgressEvents(t *testing.T) {
+	c, err := mustParse(t, `{"graph":{"family":"gnp","n":40,"p":0.5},"algorithm":"feedback","trials":1,"seed":2}`).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	_, err = Run(context.Background(), c, RunOptions{Progress: func(e Event) { events = append(events, e) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EventType]int{}
+	for _, e := range events {
+		counts[e.Type]++
+	}
+	if counts[EventUnitStart] != 1 || counts[EventUnitDone] != 1 || counts[EventTrial] != 1 {
+		t.Fatalf("event counts %v, want one unit_start/unit_done/trial", counts)
+	}
+	if counts[EventRound] == 0 {
+		t.Fatal("single-trial run emitted no round events")
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	c, err := mustParse(t, `{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":500,"workers":1}`).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	trials := 0
+	_, err = Run(ctx, c, RunOptions{Progress: func(e Event) {
+		if e.Type == EventTrial {
+			trials++
+			if trials == 3 {
+				cancel()
+			}
+		}
+	}})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if trials >= 500 {
+		t.Fatal("cancellation did not stop the trial loop")
+	}
+}
+
+func TestCrashAndWakeSchedulesApply(t *testing.T) {
+	// Fault schedules draw from their own rng streams, so a crash+wake
+	// scenario must stay bit-deterministic across worker counts like
+	// any other. (Verification may legitimately fail here — crashed
+	// nodes leave perceived-maximality holes — so the assertion is on
+	// determinism, not on Verified.)
+	doc := `{"graph":{"family":"gnp","n":40,"p":0.4,"seed":8},"algorithm":"feedback","trials":2,"seed":8,
+		"crash_at_round":{"2":[0,1,2]},"wake_window":4}`
+	c, err := mustParse(t, doc).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(context.Background(), c, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), c, RunOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := a.JSON()
+	bb, _ := b.JSON()
+	if string(ab) != string(bb) {
+		t.Fatal("crash+wake scenario not deterministic across worker counts")
+	}
+}
+
+func TestFamiliesAllBuildable(t *testing.T) {
+	docs := map[string]string{
+		"gnp":                `{"graph":{"family":"gnp","n":30,"p":0.3},"algorithm":"feedback"}`,
+		"complete":           `{"graph":{"family":"complete","n":20},"algorithm":"feedback"}`,
+		"cliques":            `{"graph":{"family":"cliques","n":200},"algorithm":"feedback"}`,
+		"grid":               `{"graph":{"family":"grid","rows":5,"cols":6},"algorithm":"feedback"}`,
+		"torus":              `{"graph":{"family":"torus","rows":4,"cols":4},"algorithm":"feedback"}`,
+		"path":               `{"graph":{"family":"path","n":25},"algorithm":"feedback"}`,
+		"cycle":              `{"graph":{"family":"cycle","n":25},"algorithm":"feedback"}`,
+		"star":               `{"graph":{"family":"star","n":25},"algorithm":"feedback"}`,
+		"tree":               `{"graph":{"family":"tree","n":25},"algorithm":"feedback"}`,
+		"completebinarytree": `{"graph":{"family":"completebinarytree","n":31},"algorithm":"feedback"}`,
+		"unitdisk":           `{"graph":{"family":"unitdisk","n":60,"radius":0.25},"algorithm":"feedback"}`,
+		"barabasialbert":     `{"graph":{"family":"barabasialbert","n":50,"m":3},"algorithm":"feedback"}`,
+		"wattsstrogatz":      `{"graph":{"family":"wattsstrogatz","n":40,"k":4,"beta":0.2},"algorithm":"feedback"}`,
+		"hypercube":          `{"graph":{"family":"hypercube","d":5},"algorithm":"feedback"}`,
+		"randomregular":      `{"graph":{"family":"randomregular","n":30,"d":4},"algorithm":"feedback"}`,
+	}
+	if len(docs) != len(Families()) {
+		t.Fatalf("test covers %d families, registry has %d (%v)", len(docs), len(Families()), Families())
+	}
+	for family, doc := range docs {
+		t.Run(family, func(t *testing.T) {
+			c, err := mustParse(t, doc).Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(context.Background(), c, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Units[0].Verified {
+				t.Fatalf("family %s produced an unverified MIS", family)
+			}
+		})
+	}
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"beepmis/internal/scenario"
+)
+
+// maxSpecBytes bounds a submission body; a scenario spec is a small
+// document, so anything larger is a mistake or an attack.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/scenarios             submit a spec (JSON body)
+//	GET  /v1/scenarios             list jobs
+//	GET  /v1/scenarios/{id}        job status
+//	GET  /v1/scenarios/{id}/result result JSON (the cached report bytes)
+//	GET  /v1/scenarios/{id}/events progress stream (server-sent events)
+//	GET  /v1/healthz               liveness + pool stats
+//
+// Submissions return 202 with the job snapshot (200 on a cache hit),
+// 400 on an invalid spec, and 429 when the queue is full — the
+// backpressure signal; clients should retry with backoff.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scenarios", m.handleSubmit)
+	mux.HandleFunc("GET /v1/scenarios", m.handleList)
+	mux.HandleFunc("GET /v1/scenarios/{id}", m.handleStatus)
+	mux.HandleFunc("GET /v1/scenarios/{id}/result", m.handleResult)
+	mux.HandleFunc("GET /v1/scenarios/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", m.handleHealth)
+	return mux
+}
+
+// submitResponse is the submission reply: the job snapshot plus whether
+// the result cache (or an in-flight duplicate) absorbed the request.
+type submitResponse struct {
+	JobView
+	Cached bool `json:"cached"`
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	compiled, err := scenario.ParseCompiledBytes(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, cached, err := m.Submit(compiled)
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{JobView: m.View(job), Cached: cached})
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.Jobs())
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, m.View(job))
+}
+
+func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	view := m.View(job)
+	switch view.Status {
+	case StatusDone:
+		result, _ := m.Result(job)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(result)
+	case StatusFailed:
+		writeJSON(w, http.StatusUnprocessableEntity, view)
+	default:
+		// Not finished: tell pollers where things stand.
+		writeJSON(w, http.StatusConflict, view)
+	}
+}
+
+// handleEvents streams the job's progress as server-sent events: the
+// buffered history first, then live events, then a terminal "status"
+// event carrying the job snapshot. The stream ends when the job
+// finishes or the client disconnects.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	history, live := m.Subscribe(job)
+	defer m.Unsubscribe(job, live)
+	for _, e := range history {
+		if err := writeSSE(w, "progress", e); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case e, open := <-live:
+			if !open {
+				// Job finished (or was finished all along): close with
+				// the terminal snapshot.
+				_ = writeSSE(w, "status", m.View(job))
+				flusher.Flush()
+				return
+			}
+			if err := writeSSE(w, "progress", e); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (m *Manager) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.StatsNow())
+}
+
+// writeSSE emits one server-sent event with a JSON data payload.
+func writeSSE(w io.Writer, event string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(payload)
+}

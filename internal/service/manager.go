@@ -1,0 +1,448 @@
+// Package service is the long-lived layer over the scenario runner: a
+// bounded job pool, a deduplicating result cache, and an HTTP API
+// (http.go) that serves declarative workloads to remote clients.
+//
+// The cache is sound because the whole stack below it is deterministic:
+// a scenario's content hash (engine/shards/workers stripped, defaults
+// applied) fully determines the report bytes, so identical submissions
+// — whether concurrent (they coalesce onto the running job) or repeated
+// (they hit the finished entry) — are served one execution's result.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"beepmis/internal/scenario"
+)
+
+// JobStatus is a job's lifecycle position.
+type JobStatus string
+
+const (
+	// StatusQueued: admitted, waiting for a pool worker.
+	StatusQueued JobStatus = "queued"
+	// StatusRunning: executing on a pool worker.
+	StatusRunning JobStatus = "running"
+	// StatusDone: finished; result bytes cached.
+	StatusDone JobStatus = "done"
+	// StatusFailed: execution failed; the error is cached (failures of
+	// a validated spec are deterministic too — re-running would fail
+	// identically).
+	StatusFailed JobStatus = "failed"
+)
+
+// ErrBusy is returned by Submit when the queue is full; HTTP maps it to
+// 429 Too Many Requests.
+var ErrBusy = errors.New("service: queue full, try again later")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("service: shutting down")
+
+// Job is one cached scenario execution, keyed by the scenario hash.
+// All mutable fields are guarded by the owning Manager's mutex.
+type Job struct {
+	// ID is the scenario content hash (hex SHA-256).
+	ID string
+	// Name is the spec's free-form label (informational).
+	Name string
+
+	status    JobStatus
+	compiled  *scenario.Compiled
+	result    []byte // canonical report bytes (StatusDone)
+	err       string // failure message (StatusFailed)
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	runs      int // executions (tests assert coalescing keeps this at 1)
+
+	events []scenario.Event // bounded progress history for late subscribers
+	subs   map[chan scenario.Event]struct{}
+	done   chan struct{} // closed on done/failed
+}
+
+// maxEventHistory bounds the per-job progress history replayed to late
+// subscribers; beyond it the oldest events are dropped (the terminal
+// status is carried by the job itself, never by history).
+const maxEventHistory = 1024
+
+// JobView is an immutable snapshot of a job for JSON responses.
+type JobView struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name,omitempty"`
+	Status    JobStatus `json:"status"`
+	Error     string    `json:"error,omitempty"`
+	Units     int       `json:"units"`
+	Trials    int       `json:"trials"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// Options configures a Manager. Zero values get sensible defaults.
+type Options struct {
+	// Workers is the job pool size; default 1 (scenarios parallelise
+	// internally via their trial pool, so one job per core-set is the
+	// usual deployment).
+	Workers int
+	// QueueCap bounds the jobs waiting for a worker; a full queue
+	// rejects submissions with ErrBusy. Default 64.
+	QueueCap int
+	// TrialWorkers overrides every spec's trial pool bound when > 0
+	// (operators use it to stop one greedy spec from monopolising the
+	// machine).
+	TrialWorkers int
+	// MaxJobs bounds how many jobs (and their cached results) are
+	// retained; default 1024. Beyond it, the oldest *finished* jobs
+	// are evicted — queued and running jobs are never evicted, so at
+	// saturation the cache shrinks to the active set plus the newest
+	// results. An evicted scenario simply re-executes on resubmission;
+	// determinism guarantees the same bytes.
+	MaxJobs int
+}
+
+// Manager owns the job pool and the result cache.
+type Manager struct {
+	opts Options
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	closed bool
+
+	queue  chan *Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// testHookBeforeRun, when non-nil, runs on the worker goroutine
+	// before each execution — tests use it to hold a job in
+	// StatusRunning while concurrent submissions coalesce onto it.
+	testHookBeforeRun func(*Job)
+}
+
+// New starts a Manager's worker pool.
+func New(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 64
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:   opts,
+		jobs:   make(map[string]*Job),
+		queue:  make(chan *Job, opts.QueueCap),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	m.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit admits a compiled scenario. The bool reports a cache hit:
+// true means the spec's hash matched an existing job (finished or in
+// flight) and no new execution was scheduled. A full queue returns
+// ErrBusy and caches nothing.
+func (m *Manager) Submit(compiled *scenario.Compiled) (*Job, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrClosed
+	}
+	if job, ok := m.jobs[compiled.Hash]; ok {
+		return job, true, nil
+	}
+	job := &Job{
+		ID:        compiled.Hash,
+		Name:      compiled.Spec.Name,
+		status:    StatusQueued,
+		compiled:  compiled,
+		submitted: time.Now(),
+		subs:      make(map[chan scenario.Event]struct{}),
+		done:      make(chan struct{}),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		return nil, false, ErrBusy
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.evictLocked()
+	return job, false, nil
+}
+
+// evictLocked drops the oldest finished jobs until the retention bound
+// holds. Queued/running jobs are skipped — they hold queue slots and
+// subscribers — so the map can transiently exceed MaxJobs by the
+// active-set size, which QueueCap and Workers already bound.
+func (m *Manager) evictLocked() {
+	if len(m.jobs) <= m.opts.MaxJobs {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		job := m.jobs[id]
+		terminal := job.status == StatusDone || job.status == StatusFailed
+		if len(m.jobs) > m.opts.MaxJobs && terminal {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Job returns the job with the given id (the scenario hash).
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	return job, ok
+}
+
+// Jobs lists job snapshots in submission order.
+func (m *Manager) Jobs() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	views := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		views = append(views, m.viewLocked(m.jobs[id]))
+	}
+	return views
+}
+
+// View returns a snapshot of the job.
+func (m *Manager) View(job *Job) JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewLocked(job)
+}
+
+func (m *Manager) viewLocked(job *Job) JobView {
+	trials := job.compiled.Spec.Trials * len(job.compiled.Units)
+	return JobView{
+		ID:        job.ID,
+		Name:      job.Name,
+		Status:    job.status,
+		Error:     job.err,
+		Units:     len(job.compiled.Units),
+		Trials:    trials,
+		Submitted: job.submitted,
+		Started:   job.started,
+		Finished:  job.finished,
+	}
+}
+
+// Result returns the cached report bytes, or false until StatusDone.
+func (m *Manager) Result(job *Job) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if job.status != StatusDone {
+		return nil, false
+	}
+	return job.result, true
+}
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (m *Manager) Done(job *Job) <-chan struct{} { return job.done }
+
+// Subscribe attaches a progress listener: it returns the event history
+// so far (replayed in order) and a channel carrying subsequent events,
+// which is closed when the job finishes. A subscriber that falls more
+// than its buffer behind loses intermediate events (terminal state is
+// never lost — it travels via Done/status, not via events). Cancel with
+// Unsubscribe.
+func (m *Manager) Subscribe(job *Job) ([]scenario.Event, <-chan scenario.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	history := append([]scenario.Event(nil), job.events...)
+	ch := make(chan scenario.Event, 256)
+	if job.status == StatusDone || job.status == StatusFailed {
+		close(ch)
+		return history, ch
+	}
+	job.subs[ch] = struct{}{}
+	return history, ch
+}
+
+// Unsubscribe detaches a listener registered with Subscribe.
+func (m *Manager) Unsubscribe(job *Job, ch <-chan scenario.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for sub := range job.subs {
+		if (<-chan scenario.Event)(sub) == ch {
+			delete(job.subs, sub)
+			close(sub)
+			return
+		}
+	}
+}
+
+// Close drains the pool: no new submissions are admitted, queued jobs
+// that have not started are failed with ErrClosed, and the context's
+// deadline bounds the wait for running jobs (whose trial loops observe
+// the cancellation between trials).
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	// Fail everything still waiting in the queue.
+	for job := range m.queue {
+		m.finish(job, nil, ErrClosed)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.cancel()
+		return nil
+	case <-ctx.Done():
+		// Deadline hit: cancel running scenarios and wait for the
+		// workers to observe it.
+		m.cancel()
+		<-done
+		return fmt.Errorf("service: shutdown deadline hit, running jobs cancelled: %w", ctx.Err())
+	}
+}
+
+// worker executes queued jobs until the queue closes. Once Close has
+// begun, dequeued jobs fail fast instead of starting — Close's drain
+// loop consumes the same channel, and whichever side wins the race
+// must apply the same policy.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed || m.ctx.Err() != nil {
+			m.finish(job, nil, ErrClosed)
+			continue
+		}
+		m.run(job)
+	}
+}
+
+// run executes one job and caches its outcome.
+func (m *Manager) run(job *Job) {
+	m.mu.Lock()
+	job.status = StatusRunning
+	job.started = time.Now()
+	job.runs++
+	hook := m.testHookBeforeRun
+	m.mu.Unlock()
+	if hook != nil {
+		hook(job)
+	}
+
+	opts := scenario.RunOptions{
+		Workers:  m.opts.TrialWorkers,
+		Progress: func(e scenario.Event) { m.publish(job, e) },
+	}
+	report, err := scenario.Run(m.ctx, job.compiled, opts)
+	if err != nil {
+		m.finish(job, nil, err)
+		return
+	}
+	bytes, err := report.JSON()
+	if err != nil {
+		m.finish(job, nil, err)
+		return
+	}
+	m.finish(job, bytes, nil)
+}
+
+// publish appends an event to the job's history and fans it out.
+func (m *Manager) publish(job *Job, e scenario.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job.events = append(job.events, e)
+	if len(job.events) > maxEventHistory {
+		job.events = job.events[len(job.events)-maxEventHistory:]
+	}
+	for sub := range job.subs {
+		select {
+		case sub <- e:
+		default: // slow subscriber: drop rather than stall the run
+		}
+	}
+}
+
+// finish moves the job to its terminal status and releases waiters.
+func (m *Manager) finish(job *Job, result []byte, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if job.status == StatusDone || job.status == StatusFailed {
+		return
+	}
+	if err != nil {
+		job.status = StatusFailed
+		job.err = err.Error()
+	} else {
+		job.status = StatusDone
+		job.result = result
+	}
+	job.finished = time.Now()
+	for sub := range job.subs {
+		close(sub)
+	}
+	job.subs = make(map[chan scenario.Event]struct{})
+	close(job.done)
+}
+
+// Stats summarises the manager for the health endpoint.
+type Stats struct {
+	Jobs    int            `json:"jobs"`
+	Queued  int            `json:"queued"`
+	Running int            `json:"running"`
+	Done    int            `json:"done"`
+	Failed  int            `json:"failed"`
+	Workers int            `json:"workers"`
+	Queue   map[string]int `json:"queue"`
+}
+
+// StatsNow snapshots the manager.
+func (m *Manager) StatsNow() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Jobs:    len(m.jobs),
+		Workers: m.opts.Workers,
+		Queue:   map[string]int{"cap": m.opts.QueueCap, "len": len(m.queue)},
+	}
+	for _, job := range m.jobs {
+		switch job.status {
+		case StatusQueued:
+			s.Queued++
+		case StatusRunning:
+			s.Running++
+		case StatusDone:
+			s.Done++
+		case StatusFailed:
+			s.Failed++
+		}
+	}
+	return s
+}

@@ -185,7 +185,7 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	if opts.WakeAt != nil && len(opts.WakeAt) != n {
 		return nil, fmt.Errorf("sim: WakeAt has %d entries for %d nodes", len(opts.WakeAt), n)
 	}
-	if err := validateCrashes(n, opts.CrashAtRound); err != nil {
+	if err := ValidateCrashes(n, opts.CrashAtRound); err != nil {
 		return nil, err
 	}
 	if engine == EngineColumnar {
@@ -358,13 +358,15 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	return res, nil
 }
 
-// validateCrashes rejects malformed Options.CrashAtRound schedules up
+// ValidateCrashes rejects malformed Options.CrashAtRound schedules up
 // front: node ids outside [0, n), rounds before the first time step, and
 // nodes scheduled to crash more than once. Silently skipping such
 // entries (the historical behaviour) hid typos in fault-injection
 // experiments — a crash that never happens looks exactly like
-// robustness.
-func validateCrashes(n int, crashes map[int][]int) error {
+// robustness. Run calls it internally; it is exported so layers that
+// accept crash schedules from untrusted input (the scenario compiler)
+// can reject them at submission time rather than at execution time.
+func ValidateCrashes(n int, crashes map[int][]int) error {
 	if len(crashes) == 0 {
 		return nil
 	}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# bench.sh — record the across-PR engine benchmark trajectory.
+#
+# Runs `misbench -bench -json` on the standard graph pair — the dense
+# G(20000, 1/2) and the sparse G(100000, 0.05) used by every PR's
+# engine comparison — and writes one JSON record per engine per
+# workload. Records carry goversion/gomaxprocs/timestamp, so files from
+# different machines remain interpretable side by side.
+#
+# The outfile argument is required: committed trajectory files
+# (BENCH_pr3.json, …) are per-PR records, and a default would invite
+# silently overwriting an earlier PR's committed baseline.
+#
+# Usage:
+#   scripts/bench.sh BENCH_pr<N>.json
+#   BENCH_RUNS=5 scripts/bench.sh my.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:?usage: scripts/bench.sh BENCH_pr<N>.json (outfile required)}"
+runs="${BENCH_RUNS:-3}"
+
+go run ./cmd/misbench -bench -json -benchn 20000 -benchp 0.5 -benchruns "$runs" >"$out"
+go run ./cmd/misbench -bench -json -benchn 100000 -benchp 0.05 -benchruns "$runs" >>"$out"
+
+echo "wrote $(wc -l <"$out") records to $out" >&2
