@@ -96,6 +96,13 @@ const (
 	// cores (see WithShards). The fastest engine for every algorithm
 	// that has a kernel; EngineAuto picks it whenever it applies.
 	EngineColumnar = sim.EngineColumnar
+	// EngineSparse runs the columnar round loop over the O(n + m) CSR
+	// representation instead of the dense matrix, walking only the
+	// adjacency rows of current emitters (sharded by destination range,
+	// see WithShards). Memory scales with edges rather than n², which
+	// is how million-node graphs run; EngineAuto picks it whenever the
+	// matrix would blow the memory budget but the edge array fits.
+	EngineSparse = sim.EngineSparse
 )
 
 // Algorithm selects an MIS algorithm.
@@ -168,12 +175,13 @@ func (r *Result) MeanBeepsPerNode() float64 {
 
 // solveOptions collects Option settings.
 type solveOptions struct {
-	seed       uint64
-	maxRounds  int
-	feedback   FeedbackConfig
-	concurrent bool
-	engine     Engine
-	shards     int
+	seed         uint64
+	maxRounds    int
+	feedback     FeedbackConfig
+	concurrent   bool
+	engine       Engine
+	shards       int
+	memoryBudget int64
 }
 
 // Option customises Solve.
@@ -204,14 +212,24 @@ func WithEngine(e Engine) Option {
 	return func(o *solveOptions) { o.engine = e }
 }
 
-// WithShards bounds the goroutines the columnar engine fans beep
-// propagation out to; 0 (the default) uses all cores and 1 keeps
+// WithShards bounds the goroutines the columnar and sparse engines fan
+// beep propagation out to; 0 (the default) uses all cores and 1 keeps
 // propagation serial. Results are bit-identical for every value — shard
 // workers own disjoint destination word ranges — so this is purely a
 // performance knob. Combining a non-zero value with
-// WithConcurrentEngine is an error, as is pinning a non-columnar engine.
+// WithConcurrentEngine is an error, as is pinning an engine that does
+// not shard propagation.
 func WithShards(shards int) Option {
 	return func(o *solveOptions) { o.shards = shards }
+}
+
+// WithMemoryBudget caps the bytes the auto engine selection will spend
+// on an adjacency representation (the dense matrix, or the CSR edge
+// array of EngineSparse); 0 (the default) means sim.DefaultMemoryBudget,
+// 2 GiB. Purely a selection knob: results are bit-identical whichever
+// engine the budget admits. Explicit WithEngine pins ignore it.
+func WithMemoryBudget(bytes int64) Option {
+	return func(o *solveOptions) { o.memoryBudget = bytes }
 }
 
 // WithConcurrentEngine runs beeping algorithms on the goroutine-per-node
@@ -264,14 +282,15 @@ func Solve(g *Graph, algo Algorithm, opts ...Option) (*Result, error) {
 			}
 			return &Result{InMIS: rr.InMIS, Rounds: rr.Rounds, TotalBeeps: rr.TotalBeeps}, nil
 		}
-		if o.shards != 0 && o.engine != EngineAuto && o.engine != EngineColumnar {
-			return nil, fmt.Errorf("beepmis: WithShards(%d) conflicts with WithEngine(%v) (only the columnar engine shards propagation)", o.shards, o.engine)
+		if o.shards != 0 && o.engine != EngineAuto && o.engine != EngineColumnar && o.engine != EngineSparse {
+			return nil, fmt.Errorf("beepmis: WithShards(%d) conflicts with WithEngine(%v) (only the columnar and sparse engines shard propagation)", o.shards, o.engine)
 		}
 		sr, err := sim.Run(g, factory, rng.New(o.seed), sim.Options{
-			MaxRounds: o.maxRounds,
-			Engine:    o.engine,
-			Bulk:      bulk,
-			Shards:    o.shards,
+			MaxRounds:    o.maxRounds,
+			Engine:       o.engine,
+			Bulk:         bulk,
+			Shards:       o.shards,
+			MemoryBudget: o.memoryBudget,
 		})
 		if err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -18,9 +19,13 @@ import (
 // revisions by machines rather than by reading prose. The goversion /
 // gomaxprocs / timestamp fields identify the toolchain, the core budget
 // and the moment of the measurement, so trajectory files collected on
-// different machines (or months apart) stay comparable.
+// different machines (or months apart) stay comparable. AutoEngine is
+// the engine the auto heuristic resolves to on this workload — the
+// field that makes a silent fallback (auto quietly running the scalar
+// walk on a graph too big for its budget) observable in the records.
 type benchRecord struct {
 	Engine     string  `json:"engine"`
+	AutoEngine string  `json:"auto_engine"`
 	Shards     int     `json:"shards"`
 	N          int     `json:"n"`
 	P          float64 `json:"p"`
@@ -29,17 +34,21 @@ type benchRecord struct {
 	Beeps      float64 `json:"beeps"`
 	NsPerRound float64 `json:"ns_per_round"`
 	NsPerRun   float64 `json:"ns_per_run"`
+	HeapMB     float64 `json:"heap_mb"`
 	GoVersion  string  `json:"goversion"`
 	GoMaxProcs int     `json:"gomaxprocs"`
 	Timestamp  string  `json:"timestamp"` // ISO-8601 (RFC 3339), UTC
 }
 
 // runEngineBench times whole simulation runs of the feedback algorithm
-// on G(n, p) per engine. With engine == EngineAuto every engine is
-// measured (the columnar one at the requested shard bound); a pin
-// measures just that engine. Results of all engines are seed-identical —
-// the benchmark varies only the wall clock, which is the point.
-func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine sim.Engine, shards int, asJSON bool) error {
+// on G(n, p) per engine. With engine == EngineAuto every *applicable*
+// engine is measured — the dense matrix pair only when the matrix fits
+// the memory budget, so a million-node bench compares exactly the
+// engines that could really run it (the sharded ones at the requested
+// shard bound); a pin measures just that engine. Results of all engines
+// are seed-identical — the benchmark varies only the wall clock, which
+// is the point.
+func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine sim.Engine, shards int, memBudget int64, asJSON bool) error {
 	if n <= 0 || runs <= 0 {
 		return fmt.Errorf("bench needs positive -benchn and -benchruns (got %d, %d)", n, runs)
 	}
@@ -51,30 +60,51 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 	if err != nil {
 		return err
 	}
-	engines := []sim.Engine{sim.EngineScalar, sim.EngineBitset, sim.EngineColumnar}
+	budget := memBudget
+	if budget <= 0 {
+		budget = sim.DefaultMemoryBudget
+	}
+	matrixFits := graph.MatrixBytes(n) <= budget
+	engines := []sim.Engine{sim.EngineScalar}
+	if matrixFits {
+		engines = append(engines, sim.EngineBitset, sim.EngineColumnar)
+	}
+	engines = append(engines, sim.EngineSparse)
 	if engine != sim.EngineAuto {
+		if (engine == sim.EngineBitset || engine == sim.EngineColumnar) && !matrixFits {
+			// Stderr, not w: with -json, w carries the machine-readable
+			// record stream and must stay parseable.
+			fmt.Fprintf(os.Stderr, "misbench: warning: engine %v needs %d bytes of adjacency matrix (budget %d); proceeding because it was pinned\n",
+				engine, graph.MatrixBytes(n), budget)
+		}
 		engines = []sim.Engine{engine}
 	}
+	autoEngine := sim.ResolveEngine(g, sim.Options{Bulk: bulk, MemoryBudget: memBudget}).String()
+	// Build (and cache) each measured engine's adjacency representation
+	// outside the timer: the packed matrix rows for the dense pair, the
+	// CSR arrays for the sparse engine.
 	for _, e := range engines {
-		if e != sim.EngineScalar {
-			g.Matrix() // build (and cache) the packed rows outside the timer
-			break
+		switch e {
+		case sim.EngineBitset, sim.EngineColumnar:
+			g.Matrix()
+		case sim.EngineSparse:
+			g.CSR()
 		}
 	}
 	// Records carry the shard count that actually applied: the resolved
-	// bound for the columnar engine, 1 for the inherently serial
-	// engines — so trajectory records compare like for like.
+	// bound for the engines that shard propagation, 1 for the inherently
+	// serial ones — so trajectory records compare like for like.
 	effectiveShards := shards
 	if effectiveShards <= 0 {
 		effectiveShards = runtime.GOMAXPROCS(0)
 	}
 	enc := json.NewEncoder(w)
 	for _, e := range engines {
-		opts := sim.Options{Engine: e, Shards: shards}
+		opts := sim.Options{Engine: e, Shards: shards, MemoryBudget: memBudget}
 		recShards := 1
-		if e == sim.EngineColumnar {
-			opts.Bulk = bulk
+		if e == sim.EngineColumnar || e == sim.EngineSparse {
 			recShards = effectiveShards
+			opts.Bulk = bulk
 		}
 		var rounds, beeps float64
 		start := time.Now()
@@ -87,8 +117,17 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 			beeps += float64(res.TotalBeeps)
 		}
 		elapsed := time.Since(start)
+		// Collect first so HeapAlloc is live heap, not run garbage. The
+		// number is whole-process (graph plus every prebuilt cached
+		// representation), so it is most meaningful where enumeration
+		// excluded the dense engines — the large-sparse workloads whose
+		// memory ceiling the records exist to witness.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
 		rec := benchRecord{
 			Engine:     e.String(),
+			AutoEngine: autoEngine,
 			Shards:     recShards,
 			N:          n,
 			P:          p,
@@ -97,6 +136,7 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 			Beeps:      beeps / float64(runs),
 			NsPerRound: float64(elapsed.Nanoseconds()) / rounds,
 			NsPerRun:   float64(elapsed.Nanoseconds()) / float64(runs),
+			HeapMB:     float64(ms.HeapAlloc) / (1 << 20),
 			GoVersion:  runtime.Version(),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			Timestamp:  time.Now().UTC().Format(time.RFC3339),
@@ -107,8 +147,8 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 			}
 			continue
 		}
-		fmt.Fprintf(w, "%-9s shards=%-2d G(%d,%g): %.1f rounds/run, %.0f beeps/run, %.0f ns/round, %.2f ms/run\n",
-			rec.Engine, rec.Shards, rec.N, rec.P, rec.Rounds, rec.Beeps, rec.NsPerRound, rec.NsPerRun/1e6)
+		fmt.Fprintf(w, "%-9s shards=%-2d G(%d,%g): %.1f rounds/run, %.0f beeps/run, %.0f ns/round, %.2f ms/run, heap %.0f MB (auto→%s)\n",
+			rec.Engine, rec.Shards, rec.N, rec.P, rec.Rounds, rec.Beeps, rec.NsPerRound, rec.NsPerRun/1e6, rec.HeapMB, rec.AutoEngine)
 	}
 	return nil
 }

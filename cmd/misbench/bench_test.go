@@ -29,8 +29,8 @@ func TestBenchJSONOutput(t *testing.T) {
 		}
 		records = append(records, rec)
 	}
-	if len(records) != 3 {
-		t.Fatalf("got %d records, want one per engine (3):\n%v", len(records), records)
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want one per engine (4):\n%v", len(records), records)
 	}
 	engines := map[string]benchRecord{}
 	for _, rec := range records {
@@ -40,6 +40,12 @@ func TestBenchJSONOutput(t *testing.T) {
 		}
 		if rec.Rounds <= 0 || rec.Beeps <= 0 || rec.NsPerRound <= 0 || rec.NsPerRun <= 0 {
 			t.Fatalf("record metrics not positive: %+v", rec)
+		}
+		// The auto heuristic's choice is stamped on every record: on
+		// this small dense workload (feedback has a kernel) it must be
+		// the columnar engine.
+		if rec.AutoEngine != "columnar" {
+			t.Fatalf("auto_engine %q, want columnar: %+v", rec.AutoEngine, rec)
 		}
 		// Environment stamps make trajectory files comparable across
 		// machines and toolchains.
@@ -54,23 +60,54 @@ func TestBenchJSONOutput(t *testing.T) {
 			t.Fatalf("timestamp %q not near now", rec.Timestamp)
 		}
 	}
-	for _, name := range []string{"scalar", "bitset", "columnar"} {
+	for _, name := range []string{"scalar", "bitset", "columnar", "sparse"} {
 		if _, ok := engines[name]; !ok {
 			t.Fatalf("no record for engine %q", name)
 		}
 	}
 	// Shard stamps reflect what applied: serial engines record 1 and
-	// the columnar record resolves the 0 default to a concrete bound.
+	// the sharded engines resolve the 0 default to a concrete bound.
 	if engines["scalar"].Shards != 1 || engines["bitset"].Shards != 1 {
 		t.Fatalf("serial engines should record shards=1: %+v", engines)
 	}
-	if engines["columnar"].Shards < 1 {
-		t.Fatalf("columnar record has unresolved shard bound: %+v", engines["columnar"])
+	if engines["columnar"].Shards < 1 || engines["sparse"].Shards < 1 {
+		t.Fatalf("sharded engines have unresolved shard bounds: %+v", engines)
 	}
 	// Seed-identity across engines shows through the benchmark too.
 	if engines["scalar"].Rounds != engines["columnar"].Rounds ||
-		engines["scalar"].Beeps != engines["columnar"].Beeps {
+		engines["scalar"].Beeps != engines["columnar"].Beeps ||
+		engines["scalar"].Rounds != engines["sparse"].Rounds ||
+		engines["scalar"].Beeps != engines["sparse"].Beeps {
 		t.Fatalf("engines disagree on rounds/beeps: %+v", engines)
+	}
+}
+
+// TestBenchAutoFallbackObservable is the bugfix regression: when the
+// memory budget rules the dense matrix out, the bench enumerates only
+// the engines that could really run the workload, and every record's
+// auto_engine field says the auto heuristic now lands on the sparse
+// engine — not on a silent scalar walk.
+func TestBenchAutoFallbackObservable(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-bench", "-json", "-benchn", "20000", "-benchp", "0.001", "-benchruns", "1",
+		"-membudget", "10000000"} // 10 MB: matrix needs ~50 MB, CSR ~2 MB
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var engines []string
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var rec benchRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		engines = append(engines, rec.Engine)
+		if rec.AutoEngine != "sparse" {
+			t.Fatalf("auto_engine %q, want sparse (budget excludes the matrix): %+v", rec.AutoEngine, rec)
+		}
+	}
+	if len(engines) != 2 || engines[0] != "scalar" || engines[1] != "sparse" {
+		t.Fatalf("engines measured %v, want exactly [scalar sparse]", engines)
 	}
 }
 
@@ -113,15 +150,15 @@ func TestBenchHonorsOutFile(t *testing.T) {
 }
 
 // TestShardsConflictsWithEnginePin mirrors the library surface: only
-// the columnar engine shards propagation, so a non-columnar pin plus
-// -shards is rejected rather than silently ignored.
+// the columnar and sparse engines shard propagation, so any other pin
+// plus -shards is rejected rather than silently ignored.
 func TestShardsConflictsWithEnginePin(t *testing.T) {
 	for _, engine := range []string{"scalar", "bitset"} {
 		if err := run([]string{"-exp", "fig5", "-trials", "1", "-maxn", "25", "-engine", engine, "-shards", "4"}, &bytes.Buffer{}); err == nil {
 			t.Fatalf("-shards with -engine %s accepted", engine)
 		}
 	}
-	for _, engine := range []string{"auto", "columnar"} {
+	for _, engine := range []string{"auto", "columnar", "sparse"} {
 		if err := run([]string{"-exp", "fig5", "-trials", "1", "-maxn", "25", "-engine", engine, "-shards", "4"}, &bytes.Buffer{}); err != nil {
 			t.Fatalf("-shards with -engine %s: %v", engine, err)
 		}

@@ -9,8 +9,10 @@
 //	misbench -exp fig3 -format csv -out fig3.csv
 //	misbench -exp fig3 -workers 4           # bound the trial worker pool
 //	misbench -exp fig3 -engine columnar     # pin the simulation engine
-//	misbench -exp fig3 -shards 8            # bound columnar propagation goroutines
+//	misbench -exp fig3 -shards 8            # bound columnar/sparse propagation goroutines
 //	misbench -bench -json                   # machine-readable engine benchmark
+//	misbench -bench -json -benchn 1000000 -benchp 0.00001 -benchruns 1
+//	                                        # million-node: scalar vs sparse only
 //
 // Trials run in parallel on a bounded worker pool; output is
 // bit-identical for any -workers value, any -engine choice, and any
@@ -19,7 +21,11 @@
 // The -bench mode times whole simulation runs per engine on one G(n,p)
 // workload (configured with -benchn/-benchp/-benchruns) and, with
 // -json, emits one JSON record per engine — the across-PR benchmark
-// trajectory format.
+// trajectory format (scripts/bench.sh wraps the records into the
+// committed top-level-array files). Only the engines whose adjacency
+// representation fits -membudget are enumerated, and every record's
+// auto_engine field names the engine the auto heuristic would pick, so
+// a silent fallback is visible in the data.
 package main
 
 import (
@@ -42,24 +48,25 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("misbench", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list experiment ids and exit")
-		verdict = fs.Bool("verdict", false, "run the headline-claim pass/fail gate and exit")
-		exp     = fs.String("exp", "", "experiment id to run, or \"all\"")
-		trials  = fs.Int("trials", 0, "override per-point trial count (0 = paper default)")
-		maxN    = fs.Int("maxn", 0, "cap the largest workload size (0 = paper default)")
-		seed    = fs.Uint64("seed", 1, "master random seed")
-		format  = fs.String("format", "table", "output format: table, csv, json, or plot")
-		out     = fs.String("out", "", "write output to this file instead of stdout")
-		compare = fs.String("compare", "", "compare the run against a baseline JSON file (written with -format json); non-empty drift fails")
-		tol     = fs.Float64("tolerance", 0.2, "relative drift tolerance for -compare")
-		engine  = fs.String("engine", "auto", "simulation engine: auto, scalar, bitset, or columnar (results are seed-identical)")
-		workers = fs.Int("workers", 0, "trial worker pool size (0 = all cores; results are identical for any value)")
-		shards  = fs.Int("shards", 0, "columnar-engine propagation goroutines (0 = all cores, 1 = serial; results are identical for any value)")
-		bench   = fs.Bool("bench", false, "run the per-engine wall-clock benchmark instead of an experiment")
-		benchN  = fs.Int("benchn", 20000, "bench graph size n for G(n,p)")
-		benchP  = fs.Float64("benchp", 0.5, "bench edge probability p for G(n,p)")
-		benchR  = fs.Int("benchruns", 3, "bench simulation runs per engine")
-		asJSON  = fs.Bool("json", false, "emit -bench results as JSON records (engine, shards, rounds, ns/round, beeps)")
+		list      = fs.Bool("list", false, "list experiment ids and exit")
+		verdict   = fs.Bool("verdict", false, "run the headline-claim pass/fail gate and exit")
+		exp       = fs.String("exp", "", "experiment id to run, or \"all\"")
+		trials    = fs.Int("trials", 0, "override per-point trial count (0 = paper default)")
+		maxN      = fs.Int("maxn", 0, "cap the largest workload size (0 = paper default)")
+		seed      = fs.Uint64("seed", 1, "master random seed")
+		format    = fs.String("format", "table", "output format: table, csv, json, or plot")
+		out       = fs.String("out", "", "write output to this file instead of stdout")
+		compare   = fs.String("compare", "", "compare the run against a baseline JSON file (written with -format json); non-empty drift fails")
+		tol       = fs.Float64("tolerance", 0.2, "relative drift tolerance for -compare")
+		engine    = fs.String("engine", "auto", "simulation engine: auto, scalar, bitset, columnar, or sparse (results are seed-identical)")
+		workers   = fs.Int("workers", 0, "trial worker pool size (0 = all cores; results are identical for any value)")
+		shards    = fs.Int("shards", 0, "columnar/sparse-engine propagation goroutines (0 = all cores, 1 = serial; results are identical for any value)")
+		memBudget = fs.Int64("membudget", 0, "auto-engine adjacency memory budget in bytes (0 = 2 GiB default; engine choice only, never results)")
+		bench     = fs.Bool("bench", false, "run the per-engine wall-clock benchmark instead of an experiment")
+		benchN    = fs.Int("benchn", 20000, "bench graph size n for G(n,p)")
+		benchP    = fs.Float64("benchp", 0.5, "bench edge probability p for G(n,p)")
+		benchR    = fs.Int("benchruns", 3, "bench simulation runs per engine")
+		asJSON    = fs.Bool("json", false, "emit -bench results as JSON records (engine, auto_engine, shards, rounds, ns/round, beeps, heap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,12 +75,16 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *shards != 0 && eng != sim.EngineAuto && eng != sim.EngineColumnar {
-		// Mirror beepmis.WithShards: only the columnar engine shards
-		// propagation, so a non-columnar pin makes -shards a typo.
-		return fmt.Errorf("-shards %d conflicts with -engine %v (only the columnar engine shards propagation)", *shards, eng)
+	if *shards != 0 && eng != sim.EngineAuto && eng != sim.EngineColumnar && eng != sim.EngineSparse {
+		// Mirror beepmis.WithShards: only the columnar and sparse
+		// engines shard propagation, so any other pin makes -shards a
+		// typo.
+		return fmt.Errorf("-shards %d conflicts with -engine %v (only the columnar and sparse engines shard propagation)", *shards, eng)
 	}
-	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN, Workers: *workers, Engine: eng, Shards: *shards}
+	if *memBudget < 0 {
+		return fmt.Errorf("-membudget %d negative (0 = default)", *memBudget)
+	}
+	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN, Workers: *workers, Engine: eng, Shards: *shards, MemoryBudget: *memBudget}
 	if *asJSON && !*bench {
 		return fmt.Errorf("-json applies to -bench output (experiments have -format json)")
 	}
@@ -87,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 	if *bench {
-		return runEngineBench(w, *benchN, *benchP, *benchR, *seed, eng, *shards, *asJSON)
+		return runEngineBench(w, *benchN, *benchP, *benchR, *seed, eng, *shards, *memBudget, *asJSON)
 	}
 	if *list {
 		for _, id := range experiment.IDs() {

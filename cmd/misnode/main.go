@@ -12,6 +12,13 @@
 //	misnode -mode node -addr 127.0.0.1:7788 -vertices 0-31  -seed 42
 //	misnode -mode node -addr 127.0.0.1:7788 -vertices 32-63 -seed 42
 //
+// -vertices accepts a single id, an inclusive lo-hi range, or a
+// comma-separated list of both (e.g. "0-15,32,40-47"). Malformed input —
+// reversed ranges like "31-0", empty segments, ids claimed twice —
+// fails before anything dials the coordinator; ranges that overlap
+// *across* node processes are caught by the coordinator at handshake
+// time, which names the doubly-claimed vertex in its rejection.
+//
 // All node processes must use the same -seed: each vertex derives its
 // private randomness stream from (seed, vertex id), which also makes the
 // distributed run reproduce `misrun -engine sim` exactly.
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -51,7 +59,7 @@ func run(args []string, stdout io.Writer) error {
 		cols      = fs.Int("cols", 8, "coord: grid columns")
 		in        = fs.String("in", "", "coord: edge-list file (graph=file)")
 		gseed     = fs.Uint64("graph-seed", 1, "coord: graph generation seed")
-		vertices  = fs.String("vertices", "", "node: vertex id or inclusive range lo-hi")
+		vertices  = fs.String("vertices", "", "node: vertex ids — a single id, an inclusive lo-hi range, or a comma-separated list of both (e.g. 0-15,32,40-47)")
 		seed      = fs.Uint64("seed", 1, "node: master seed shared by all node processes")
 		algo      = fs.String("algo", "feedback", "node: beeping algorithm (feedback, globalsweep, afek, fixed)")
 	)
@@ -66,11 +74,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return runCoord(stdout, g, *addr)
 	case "node":
-		lo, hi, err := parseRange(*vertices)
+		ids, err := parseVertices(*vertices)
 		if err != nil {
 			return err
 		}
-		return runNodes(stdout, *addr, lo, hi, *seed, *algo)
+		return runNodes(stdout, *addr, ids, *seed, *algo)
 	default:
 		return fmt.Errorf("missing or unknown -mode %q (want coord or node)", *mode)
 	}
@@ -103,58 +111,106 @@ func runCoordServe(stdout io.Writer, coord *transport.Coordinator, g *graph.Grap
 	return nil
 }
 
-func runNodes(stdout io.Writer, addr string, lo, hi int, seed uint64, algo string) error {
+func runNodes(stdout io.Writer, addr string, ids []int, seed uint64, algo string) error {
 	factory, err := mis.NewFactory(mis.Spec{Name: algo})
 	if err != nil {
 		return err
 	}
 	master := rng.New(seed)
 	var wg sync.WaitGroup
-	errs := make([]error, hi-lo+1)
-	results := make([]*transport.NodeResult, hi-lo+1)
-	for v := lo; v <= hi; v++ {
-		v := v
+	errs := make([]error, len(ids))
+	results := make([]*transport.NodeResult, len(ids))
+	for i, v := range ids {
+		i, v := i, v
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			res, err := transport.RunNode(addr, v, factory, master.Stream(uint64(v)), transport.NodeOptions{})
-			results[v-lo] = res
-			errs[v-lo] = err
+			results[i] = res
+			errs[i] = err
 		}()
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("vertex %d: %w", lo+i, err)
+			return fmt.Errorf("vertex %d: %w", ids[i], err)
 		}
 	}
 	for i, res := range results {
-		fmt.Fprintf(stdout, "vertex %d: state=%s beeps=%d rounds=%d\n", lo+i, res.State, res.Beeps, res.Rounds)
+		fmt.Fprintf(stdout, "vertex %d: state=%s beeps=%d rounds=%d\n", ids[i], res.State, res.Beeps, res.Rounds)
 	}
 	return nil
 }
 
-func parseRange(s string) (lo, hi int, err error) {
+// maxVerticesPerProcess bounds one process's goroutine fan-out; larger
+// deployments should split across processes (that is the point of the
+// tool).
+const maxVerticesPerProcess = 1 << 16
+
+// parseVertices expands the -vertices flag into the sorted vertex ids
+// this process hosts. It accepts a comma-separated list of single ids
+// and inclusive lo-hi ranges, and rejects — before anything dials the
+// coordinator — every malformed shape that used to surface as a
+// confusing mid-handshake failure: empty flags and empty list segments,
+// non-numeric ids, negative ids, reversed ranges ("31-0"), and ids
+// claimed twice by overlapping segments of the same flag.
+func parseVertices(s string) ([]int, error) {
 	if s == "" {
-		return 0, 0, fmt.Errorf("node mode requires -vertices (id or lo-hi)")
+		return nil, fmt.Errorf("node mode requires -vertices (an id, a lo-hi range, or a comma-separated list)")
 	}
-	if i := strings.IndexByte(s, '-'); i >= 0 {
-		lo, err = strconv.Atoi(s[:i])
-		if err != nil {
-			return 0, 0, fmt.Errorf("bad range %q: %w", s, err)
+	seen := make(map[int]string)
+	var ids []int
+	for _, seg := range strings.Split(s, ",") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			return nil, fmt.Errorf("-vertices %q has an empty segment (stray comma?)", s)
 		}
-		hi, err = strconv.Atoi(s[i+1:])
+		lo, hi, err := parseSegment(seg)
 		if err != nil {
-			return 0, 0, fmt.Errorf("bad range %q: %w", s, err)
+			return nil, err
+		}
+		// Bound before expanding: a typo like 0-2000000000 must print
+		// this error, not allocate gigabytes trying to.
+		if len(ids)+(hi-lo+1) > maxVerticesPerProcess {
+			return nil, fmt.Errorf("-vertices %q expands to more than %d vertices; split across node processes", s, maxVerticesPerProcess)
+		}
+		for v := lo; v <= hi; v++ {
+			if prev, dup := seen[v]; dup {
+				return nil, fmt.Errorf("-vertices %q claims vertex %d twice (segments %q and %q overlap)", s, v, prev, seg)
+			}
+			seen[v] = seg
+			ids = append(ids, v)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// parseSegment parses one -vertices list segment: "12" or "3-17".
+func parseSegment(seg string) (lo, hi int, err error) {
+	if i := strings.IndexByte(seg, '-'); i >= 0 {
+		lo, err = strconv.Atoi(seg[:i])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad range %q: %w (want lo-hi, e.g. 0-31)", seg, err)
+		}
+		hi, err = strconv.Atoi(seg[i+1:])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad range %q: %w (want lo-hi, e.g. 0-31)", seg, err)
+		}
+		if lo < 0 || hi < 0 {
+			return 0, 0, fmt.Errorf("range %q has a negative endpoint (vertex ids start at 0)", seg)
 		}
 		if hi < lo {
-			return 0, 0, fmt.Errorf("range %q has hi < lo", s)
+			return 0, 0, fmt.Errorf("range %q is reversed: %d > %d (want lo-hi with lo ≤ hi)", seg, lo, hi)
 		}
 		return lo, hi, nil
 	}
-	v, err := strconv.Atoi(s)
+	v, err := strconv.Atoi(seg)
 	if err != nil {
-		return 0, 0, fmt.Errorf("bad vertex %q: %w", s, err)
+		return 0, 0, fmt.Errorf("bad vertex %q: %w", seg, err)
+	}
+	if v < 0 {
+		return 0, 0, fmt.Errorf("vertex %q is negative (vertex ids start at 0)", seg)
 	}
 	return v, v, nil
 }

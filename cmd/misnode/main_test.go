@@ -14,30 +14,64 @@ import (
 	"beepmis/internal/transport"
 )
 
-func TestParseRange(t *testing.T) {
+func TestParseVertices(t *testing.T) {
 	cases := []struct {
-		in     string
-		lo, hi int
-		ok     bool
+		in   string
+		want []int
+		err  string // substring of the error when want is nil
 	}{
-		{"5", 5, 5, true},
-		{"0-15", 0, 15, true},
-		{"3-3", 3, 3, true},
-		{"", 0, 0, false},
-		{"5-2", 0, 0, false},
-		{"a", 0, 0, false},
-		{"1-b", 0, 0, false},
-		{"x-2", 0, 0, false},
+		{"5", []int{5}, ""},
+		{"0-15", seq(0, 15), ""},
+		{"3-3", []int{3}, ""},
+		{"0-3,8,5-6", []int{0, 1, 2, 3, 5, 6, 8}, ""},
+		{" 2 , 4-5 ", []int{2, 4, 5}, ""},
+		{"", nil, "requires -vertices"},
+		{"31-0", nil, "reversed"},
+		{"5-2", nil, "reversed"},
+		{"0-3,,5", nil, "empty segment"},
+		{"0-3,", nil, "empty segment"},
+		{"0-3,2-5", nil, "overlap"},
+		{"4,4", nil, "twice"},
+		{"0-3,3", nil, "twice"},
+		{"a", nil, "bad vertex"},
+		{"1-b", nil, "bad range"},
+		{"x-2", nil, "bad range"},
+		{"-4", nil, "bad range"}, // leading '-' parses as a range with an empty lo
 	}
 	for _, c := range cases {
-		lo, hi, err := parseRange(c.in)
-		if c.ok && (err != nil || lo != c.lo || hi != c.hi) {
-			t.Errorf("parseRange(%q) = %d,%d,%v", c.in, lo, hi, err)
+		got, err := parseVertices(c.in)
+		if c.want != nil {
+			if err != nil {
+				t.Errorf("parseVertices(%q): %v", c.in, err)
+				continue
+			}
+			if len(got) != len(c.want) {
+				t.Errorf("parseVertices(%q) = %v, want %v", c.in, got, c.want)
+				continue
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("parseVertices(%q) = %v, want %v", c.in, got, c.want)
+					break
+				}
+			}
+			continue
 		}
-		if !c.ok && err == nil {
-			t.Errorf("parseRange(%q) accepted", c.in)
+		if err == nil {
+			t.Errorf("parseVertices(%q) accepted: %v", c.in, got)
+		} else if !strings.Contains(err.Error(), c.err) {
+			t.Errorf("parseVertices(%q) error %q does not mention %q", c.in, err, c.err)
 		}
 	}
+}
+
+// seq returns the ints lo..hi inclusive.
+func seq(lo, hi int) []int {
+	ids := make([]int, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		ids = append(ids, v)
+	}
+	return ids
 }
 
 func TestBuildGraph(t *testing.T) {
@@ -101,7 +135,7 @@ func TestCoordAndNodesEndToEnd(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		var buf bytes.Buffer
-		err := runNodes(&buf, coord.Addr(), 0, g.N()-1, 42, "feedback")
+		err := runNodes(&buf, coord.Addr(), seq(0, g.N()-1), 42, "feedback")
 		mu.Lock()
 		defer mu.Unlock()
 		nodeOut = buf
@@ -162,7 +196,7 @@ func TestRunCoordAndNodeModes(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	var nodeOut bytes.Buffer
-	if err := run([]string{"-mode", "node", "-addr", addr, "-vertices", "0-8", "-seed", "3"}, &nodeOut); err != nil {
+	if err := run([]string{"-mode", "node", "-addr", addr, "-vertices", "0-4,7,5-6,8", "-seed", "3"}, &nodeOut); err != nil {
 		t.Fatalf("node mode: %v", err)
 	}
 	if err := <-coordErr; err != nil {

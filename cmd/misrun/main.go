@@ -8,6 +8,7 @@
 //	misrun -graph grid -rows 20 -cols 20 -algo globalsweep
 //	misrun -graph file -in network.edges -algo luby-permutation -show-set
 //	misrun -graph gnp -n 100 -algo feedback -engine concurrent
+//	misrun -graph gnp -n 1000000 -p 0.00001 -algo feedback -engine sparse
 //	misrun -scenario scenarios/quickstart.json
 //	misrun -scenario sweep.json -hash
 //
@@ -27,6 +28,7 @@ import (
 	"beepmis"
 	"beepmis/internal/graph"
 	"beepmis/internal/scenario"
+	"beepmis/internal/sim"
 )
 
 func main() {
@@ -49,7 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		algo      = fs.String("algo", "feedback", "algorithm (see -algos)")
 		algos     = fs.Bool("algos", false, "list algorithms and exit")
 		seed      = fs.Uint64("seed", 1, "random seed (graph generation and run)")
-		engine    = fs.String("engine", "sim", "execution engine: sim or concurrent")
+		engine    = fs.String("engine", "sim", "execution engine: sim (auto-selected simulator), concurrent, or a simulator engine pin (scalar, bitset, columnar, sparse)")
 		showSet   = fs.Bool("show-set", false, "print the selected vertex set")
 		maxRounds = fs.Int("max-rounds", 0, "cap on synchronous rounds (0 = default)")
 		scenarioF = fs.String("scenario", "", "run a declarative scenario spec file and print its result JSON")
@@ -90,10 +92,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := []beepmis.Option{beepmis.WithSeed(*seed + 1), beepmis.WithMaxRounds(*maxRounds)}
-	if *engine == "concurrent" {
+	switch *engine {
+	case "sim", "auto":
+		// The simulator's auto-selection, the default.
+	case "concurrent":
 		opts = append(opts, beepmis.WithConcurrentEngine())
-	} else if *engine != "sim" {
-		return fmt.Errorf("unknown engine %q (want sim or concurrent)", *engine)
+	default:
+		// A simulator engine pin: scalar, bitset, columnar, or sparse.
+		pin, err := sim.ParseEngine(*engine)
+		if err != nil {
+			return fmt.Errorf("unknown engine %q (want sim, concurrent, or a simulator engine: scalar, bitset, columnar, sparse)", *engine)
+		}
+		opts = append(opts, beepmis.WithEngine(pin))
 	}
 	res, err := beepmis.Solve(g, beepmis.Algorithm(*algo), opts...)
 	if err != nil {

@@ -59,6 +59,35 @@ func TestRunConcurrentEngine(t *testing.T) {
 	}
 }
 
+// TestRunEnginePins drives the simulator engine pins through the CLI:
+// every pin must verify, and the per-seed results must agree with the
+// default auto selection (the engine-equivalence contract through the
+// -engine flag).
+func TestRunEnginePins(t *testing.T) {
+	outputs := map[string]string{}
+	for _, engine := range []string{"sim", "auto", "scalar", "bitset", "columnar", "sparse"} {
+		var out bytes.Buffer
+		if err := run([]string{"-graph", "gnp", "-n", "60", "-algo", "feedback", "-seed", "5", "-engine", engine}, &out); err != nil {
+			t.Fatalf("-engine %s: %v", engine, err)
+		}
+		if !strings.Contains(out.String(), "verified: maximal independent set") {
+			t.Fatalf("-engine %s did not verify:\n%s", engine, out.String())
+		}
+		// Compare from the results onwards — the header echoes the
+		// engine name.
+		i := strings.Index(out.String(), "mis size:")
+		if i < 0 {
+			t.Fatalf("-engine %s output missing results:\n%s", engine, out.String())
+		}
+		outputs[engine] = out.String()[i:]
+	}
+	for engine, got := range outputs {
+		if got != outputs["sim"] {
+			t.Fatalf("-engine %s output diverged from sim:\n%s\nvs\n%s", engine, got, outputs["sim"])
+		}
+	}
+}
+
 func TestRunFileGraph(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "g.edges")
 	if err := os.WriteFile(path, []byte("n 3\n0 1\n1 2\n"), 0o644); err != nil {

@@ -21,8 +21,9 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 	algos := []Algorithm{AlgorithmFeedback, AlgorithmGlobalSweep, AlgorithmAfekOriginal}
 	seeds := []uint64{0, 1, 42, 1 << 33}
-	// Every engine the simulator offers, the columnar one at shard
-	// counts bracketing serial, odd, and all-cores sharding.
+	// Every engine the simulator offers, the sharded ones (columnar and
+	// sparse) at shard counts bracketing serial, odd, and all-cores
+	// sharding.
 	variants := []struct {
 		name string
 		opts []Option
@@ -31,6 +32,9 @@ func TestEngineEquivalence(t *testing.T) {
 		{"columnar-1", []Option{WithEngine(EngineColumnar), WithShards(1)}},
 		{"columnar-3", []Option{WithEngine(EngineColumnar), WithShards(3)}},
 		{"columnar-all", []Option{WithEngine(EngineColumnar)}},
+		{"sparse-1", []Option{WithEngine(EngineSparse), WithShards(1)}},
+		{"sparse-3", []Option{WithEngine(EngineSparse), WithShards(3)}},
+		{"sparse-all", []Option{WithEngine(EngineSparse)}},
 	}
 
 	for _, fam := range families {
@@ -77,9 +81,12 @@ func TestShardsConflicts(t *testing.T) {
 	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithShards(4), WithEngine(EngineScalar)); err == nil {
 		t.Fatal("WithShards + WithEngine(EngineScalar) was silently accepted")
 	}
-	// Shards compose with an explicit columnar pin and with auto.
+	// Shards compose with the explicit sharded-engine pins and with auto.
 	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithShards(4), WithEngine(EngineColumnar)); err != nil {
 		t.Fatalf("WithShards + WithEngine(EngineColumnar): %v", err)
+	}
+	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithShards(4), WithEngine(EngineSparse)); err != nil {
+		t.Fatalf("WithShards + WithEngine(EngineSparse): %v", err)
 	}
 	if _, err := Solve(g, AlgorithmFeedback, WithSeed(1), WithShards(4)); err != nil {
 		t.Fatalf("WithShards alone: %v", err)
@@ -109,7 +116,7 @@ func TestEngineDefaultIsAuto(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset, EngineColumnar} {
+	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset, EngineColumnar, EngineSparse} {
 		res, err := Solve(g, AlgorithmFeedback, WithSeed(5), WithEngine(e))
 		if err != nil {
 			t.Fatalf("engine %v: %v", e, err)

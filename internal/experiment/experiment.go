@@ -40,12 +40,18 @@ type Config struct {
 	// value is sim.EngineAuto). Lossy-exchange experiments always use
 	// the scalar path regardless, since per-edge loss draws need it.
 	Engine sim.Engine
-	// Shards bounds the columnar engine's propagation goroutines per
-	// trial; 0 means GOMAXPROCS, 1 keeps propagation serial. Results
-	// are bit-identical for any value. With many parallel trial workers
-	// already saturating the cores, 1 is usually the right choice —
-	// which is what the trial pool defaults to when Workers exceeds 1.
+	// Shards bounds the columnar and sparse engines' propagation
+	// goroutines per trial; 0 means GOMAXPROCS, 1 keeps propagation
+	// serial. Results are bit-identical for any value. With many
+	// parallel trial workers already saturating the cores, 1 is usually
+	// the right choice — which is what the trial pool defaults to when
+	// Workers exceeds 1.
 	Shards int
+	// MemoryBudget caps the adjacency-representation bytes the auto
+	// engine selection may spend per trial (see sim.Options); 0 means
+	// the 2 GiB default. Purely a selection knob — results are
+	// bit-identical whichever engine the budget admits.
+	MemoryBudget int64
 }
 
 // simOpts assembles the sim.Options shared by every trial of an
@@ -59,7 +65,7 @@ func (c Config) simOpts(bulk beep.BulkFactory) sim.Options {
 	if shards == 0 && c.EffectiveWorkers() > 1 {
 		shards = 1
 	}
-	return sim.Options{Engine: c.Engine, Bulk: bulk, Shards: shards}
+	return sim.Options{Engine: c.Engine, Bulk: bulk, Shards: shards, MemoryBudget: c.MemoryBudget}
 }
 
 // Point is one x position of a series.

@@ -215,29 +215,11 @@ func (m *AdjacencyMatrix) orRowsRangeInto(dst, emitters Bitset, lo, hi int) {
 				d[i] |= rw
 			}
 			rows++
-			if rows&63 == 0 && m.rangeSaturated(dst, lo, hi) {
+			if rows&63 == 0 && rangeSaturated(dst, m.n, lo, hi) {
 				return
 			}
 		}
 	}
-}
-
-// rangeSaturated reports whether dst's words [lo, hi) have every bit
-// that can name a vertex set (the last word of a non-multiple-of-64
-// matrix is only partially populated by construction, so its comparison
-// mask is the row tail mask).
-func (m *AdjacencyMatrix) rangeSaturated(dst Bitset, lo, hi int) bool {
-	tail := uint(m.n & 63)
-	for i := lo; i < hi; i++ {
-		want := ^uint64(0)
-		if i == m.words-1 && tail != 0 {
-			want = (uint64(1) << tail) - 1
-		}
-		if dst[i] != want {
-			return false
-		}
-	}
-	return true
 }
 
 // propagateMinWords is the word-OR workload below which PropagateInto
@@ -277,6 +259,15 @@ func (m *AdjacencyMatrix) PropagateInto(dst, emitters Bitset, shards int) {
 		}()
 	}
 	wg.Wait()
+}
+
+// PropagateToTargets is the matrix form of CSR.PropagateToTargets. A
+// packed row OR already informs 64 listeners per word operation, so the
+// pull direction has nothing to win here; the dense engine always
+// pushes and simply ignores the targets mask (its dst is correct
+// everywhere, a superset of the contract).
+func (m *AdjacencyMatrix) PropagateToTargets(dst, _, emitters Bitset, shards int) {
+	m.PropagateInto(dst, emitters, shards)
 }
 
 // HasEdge reports whether the edge {u, v} is present.

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"testing"
+
+	"beepmis/internal/rng"
+)
+
+// buildCSRGraphs returns a spread of shapes that straddle word
+// boundaries so packing bugs cannot hide.
+func buildCSRGraphs() map[string]*Graph {
+	return map[string]*Graph{
+		"empty":      Empty(0),
+		"isolated":   Empty(100),
+		"path-65":    Path(65),
+		"star-129":   Star(129),
+		"complete":   Complete(96),
+		"gnp-dense":  GNP(200, 0.5, rng.New(1)),
+		"gnp-sparse": GNP(1000, 0.004, rng.New(2)),
+		"grid":       Grid(13, 17),
+	}
+}
+
+func TestCSRMatchesGraph(t *testing.T) {
+	for name, g := range buildCSRGraphs() {
+		c := g.CSR()
+		if c.N() != g.N() || c.M() != g.M() {
+			t.Fatalf("%s: CSR n=%d m=%d, graph n=%d m=%d", name, c.N(), c.M(), g.N(), g.M())
+		}
+		if again := g.CSR(); again != c {
+			t.Fatalf("%s: CSR cache rebuilt", name)
+		}
+		for v := 0; v < g.N(); v++ {
+			row := c.Row(v)
+			adj := g.Neighbors(v)
+			if len(row) != len(adj) || c.Degree(v) != g.Degree(v) {
+				t.Fatalf("%s: row %d length %d, want %d", name, v, len(row), len(adj))
+			}
+			for i := range row {
+				if row[i] != adj[i] {
+					t.Fatalf("%s: row %d entry %d is %d, want %d", name, v, i, row[i], adj[i])
+				}
+			}
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if c.HasEdge(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("%s: HasEdge(%d,%d) disagrees with graph", name, u, v)
+				}
+			}
+		}
+		if c.HasEdge(-1, 0) || c.HasEdge(0, g.N()) {
+			t.Fatalf("%s: out-of-range HasEdge returned true", name)
+		}
+	}
+}
+
+// TestCSRBytes pins the footprint formula the auto-engine heuristic
+// budgets with.
+func TestCSRBytes(t *testing.T) {
+	if got := CSRBytes(0, 0); got != 8 {
+		t.Fatalf("CSRBytes(0,0) = %d, want 8", got)
+	}
+	// n = 10⁶, avg degree 10: 8·(n+1) offsets + 4·2m columns ≈ 48 MB —
+	// the regime the dense matrix (125 GB) can never reach.
+	if got := CSRBytes(1_000_000, 5_000_000); got != 8_000_008+40_000_000 {
+		t.Fatalf("CSRBytes(1e6, 5e6) = %d", got)
+	}
+}
+
+// TestCSRPropagateMatchesMatrix cross-checks sparse propagation against
+// the dense matrix implementation for every shard count, including
+// emitter sets dense enough to trigger the saturation early-exit.
+func TestCSRPropagateMatchesMatrix(t *testing.T) {
+	for name, g := range buildCSRGraphs() {
+		n := g.N()
+		c := g.CSR()
+		mat := g.Matrix()
+		src := rng.New(7)
+		for trial := 0; trial < 8; trial++ {
+			emitters := NewBitset(n)
+			if n > 0 {
+				switch trial % 3 {
+				case 0: // a few emitters
+					for i := 0; i < 3; i++ {
+						emitters.Set(src.Intn(n))
+					}
+				case 1: // half the nodes
+					for v := 0; v < n; v++ {
+						if src.Bernoulli(0.5) {
+							emitters.Set(v)
+						}
+					}
+				case 2: // everyone — saturates dense graphs
+					emitters.Fill(n)
+				}
+			}
+			want := NewBitset(n)
+			mat.PropagateInto(want, emitters, 1)
+			targets := NewBitset(n)
+			for v := 0; v < n; v++ {
+				if src.Bernoulli(0.7) {
+					targets.Set(v)
+				}
+			}
+			for _, shards := range []int{1, 2, 3, 7, 64} {
+				got := NewBitset(n)
+				// Pre-soil the destination: PropagateInto owns it fully.
+				for i := range got {
+					got[i] = ^uint64(0)
+				}
+				c.PropagateInto(got, emitters, shards)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s trial %d shards %d: word %d = %x, want %x",
+							name, trial, shards, i, got[i], want[i])
+					}
+				}
+				// The direction-optimizing form must agree within the
+				// targets mask whichever direction it picked.
+				for i := range got {
+					got[i] = ^uint64(0)
+				}
+				c.PropagateToTargets(got, targets, emitters, shards)
+				for i := range want {
+					if got[i]&targets[i] != want[i]&targets[i] {
+						t.Fatalf("%s trial %d shards %d: PropagateToTargets word %d = %x, want %x (∧ targets %x)",
+							name, trial, shards, i, got[i], want[i], targets[i])
+					}
+				}
+				// The pull direction, forced, must also agree within targets.
+				words := bitsetWords(n)
+				for i := range got {
+					got[i] = ^uint64(0)
+				}
+				c.PullRangeInto(got, targets, emitters, 0, words)
+				for i := range want {
+					if got[i]&targets[i] != want[i]&targets[i] {
+						t.Fatalf("%s trial %d: PullRangeInto word %d = %x, want %x (∧ targets %x)",
+							name, trial, i, got[i], want[i], targets[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,61 @@ func FuzzReadEdgeList(f *testing.F) {
 		}
 		if g2.N() != g.N() || g2.M() != g.M() {
 			t.Fatalf("round trip changed graph: %v vs %v", g2, g)
+		}
+	})
+}
+
+// FuzzCSR asserts CSR construction never panics and round-trips against
+// Graph.HasEdge for adversarial edge lists: the fuzzer decodes raw
+// bytes as (n, endpoint pairs), feeds them — including out-of-range and
+// self-loop garbage the Builder rejects, and duplicates it dedupes —
+// through Build, and cross-checks the CSR form edge by edge.
+func FuzzCSR(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 1, 2})
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(5), []byte{0, 1, 0, 1, 1, 0, 4, 4, 9, 2})
+	f.Add(uint8(65), []byte{0, 64, 64, 1, 33, 32})
+	f.Fuzz(func(t *testing.T, n uint8, edges []byte) {
+		if len(edges) > 1<<12 {
+			t.Skip()
+		}
+		b := NewBuilder(int(n))
+		for i := 0; i+3 < len(edges); i += 4 {
+			u := int(binary.LittleEndian.Uint16(edges[i:]))
+			v := int(binary.LittleEndian.Uint16(edges[i+2:]))
+			_ = b.AddEdge(u, v) // out-of-range and self-loops rejected; duplicates deduped
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph fails validation: %v", err)
+		}
+		c := NewCSR(g)
+		if c.N() != g.N() || c.M() != g.M() {
+			t.Fatalf("CSR n=%d m=%d, graph n=%d m=%d", c.N(), c.M(), g.N(), g.M())
+		}
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			row := c.Row(v)
+			total += len(row)
+			prev := int32(-1)
+			for _, w := range row {
+				if w <= prev {
+					t.Fatalf("row %d not strictly sorted", v)
+				}
+				prev = w
+				if !g.HasEdge(v, int(w)) {
+					t.Fatalf("CSR edge {%d,%d} absent from graph", v, w)
+				}
+			}
+		}
+		if total != 2*g.M() {
+			t.Fatalf("CSR holds %d entries for %d edges", total, g.M())
+		}
+		// The reverse direction: every graph edge must be in the CSR.
+		for _, e := range g.Edges() {
+			if !c.HasEdge(e[0], e[1]) || !c.HasEdge(e[1], e[0]) {
+				t.Fatalf("graph edge %v absent from CSR", e)
+			}
 		}
 	})
 }

@@ -27,6 +27,11 @@ type Graph struct {
 	// so concurrent readers stay safe.
 	matOnce sync.Once
 	mat     *AdjacencyMatrix
+
+	// csr is the lazily built compressed-sparse-row form used by the
+	// sparse simulation engine, with the same once-guarded discipline.
+	csrOnce sync.Once
+	csr     *CSR
 }
 
 // ErrVertexRange indicates a vertex index outside [0, N).

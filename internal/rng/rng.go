@@ -65,17 +65,27 @@ func (s *Source) Reseed(seed uint64) {
 // the experiment trial pool leans on this to hand every parallel trial
 // its own deterministic streams.
 func (s *Source) Stream(id uint64) *Source {
+	sub := &Source{}
+	s.StreamInto(sub, id)
+	return sub
+}
+
+// StreamInto derives the same sub-stream as Stream(id) into an
+// existing Source, avoiding the allocation. A simulation over 10⁶
+// nodes initialises 10⁶ per-node streams per run; deriving them into
+// one contiguous backing array is measurably cheaper than 10⁶ heap
+// objects, and keeps the hot per-node state cache-adjacent.
+func (s *Source) StreamInto(dst *Source, id uint64) {
 	// Mix the origin seed (not the mutable state) with the stream id
 	// through SplitMix64 so derivation is a pure function of (seed, id).
 	sm := s.seed ^ bits.RotateLeft64(id, 17) ^ 0xd1342543de82ef95
-	sub := Source{seed: sm}
-	for i := range sub.s {
-		sub.s[i] = splitMix64(&sm)
+	dst.seed = sm
+	for i := range dst.s {
+		dst.s[i] = splitMix64(&sm)
 	}
-	if sub.s[0]|sub.s[1]|sub.s[2]|sub.s[3] == 0 {
-		sub.s[0] = 0x9e3779b97f4a7c15
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &sub
 }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).

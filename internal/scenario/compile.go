@@ -30,7 +30,7 @@ type familyInfo struct {
 	// splitting the cache between identical workloads.
 	extra []string
 	// expectedEdges estimates the instance's edge count for the
-	// MaxExpectedEdges admission bound (an overestimate is fine).
+	// memory-footprint admission bound (an overestimate is fine).
 	expectedEdges func(g GraphSpec, n int, p float64) float64
 	// nodes returns the instance's node count for bounds checking.
 	nodes func(g GraphSpec, n int) int
@@ -269,6 +269,12 @@ type Unit struct {
 	P float64
 	// Nodes is the instance node count implied by the family and N.
 	Nodes int
+	// PlannedEngine is the engine the compiled plan expects sim.Run to
+	// execute for this unit: the spec's pin, or — for "auto" — the
+	// heuristic's estimated choice from the expected node and edge
+	// counts. The admission bound budgets this representation's memory;
+	// it is an estimate (random instances vary), never a semantic knob.
+	PlannedEngine sim.Engine
 
 	graph   GraphSpec
 	info    familyInfo
@@ -441,23 +447,25 @@ func (s *Spec) Compile() (*Compiled, error) {
 				if nodes <= 0 || nodes > MaxNodes {
 					return nil, fmt.Errorf("scenario: family %q instance has %d nodes (max %d)", n.Graph.Family, nodes, MaxNodes)
 				}
-				if exp := info.expectedEdges(n.Graph, un, up); exp > MaxExpectedEdges {
-					return nil, fmt.Errorf("scenario: family %q instance expects ≈%.3g edges (max %d)", n.Graph.Family, exp, MaxExpectedEdges)
+				planned, err := admitFootprint(engine, bulk != nil, n.BeepLoss, n.Graph.Family, nodes, info.expectedEdges(n.Graph, un, up))
+				if err != nil {
+					return nil, err
 				}
 				if err := sim.ValidateCrashes(nodes, n.CrashAtRound); err != nil {
 					return nil, fmt.Errorf("scenario: %w", err)
 				}
 				c.Units = append(c.Units, &Unit{
-					Index:     index,
-					Algorithm: algo,
-					N:         un,
-					P:         up,
-					Nodes:     nodes,
-					graph:     n.Graph,
-					info:      info,
-					factory:   factory,
-					bulk:      bulk,
-					spec:      n,
+					Index:         index,
+					Algorithm:     algo,
+					N:             un,
+					P:             up,
+					Nodes:         nodes,
+					PlannedEngine: planned,
+					graph:         n.Graph,
+					info:          info,
+					factory:       factory,
+					bulk:          bulk,
+					spec:          n,
 				})
 				index++
 			}
@@ -471,4 +479,84 @@ func (s *Spec) Compile() (*Compiled, error) {
 	c.Canonical = canonical
 	c.Hash = hashOf(canonical)
 	return c, nil
+}
+
+// adjacencyBytes estimates the memory of the Graph's own adjacency
+// lists: two int32 entries per edge plus a slice header per vertex. An
+// instance needs this whatever engine runs it.
+func adjacencyBytes(nodes int, expEdges float64) float64 {
+	return 24*float64(nodes) + 8*expEdges
+}
+
+// plannedEngine resolves the engine the compiled plan expects to run:
+// the pin itself when the spec names an engine, otherwise the shared
+// auto heuristic (sim.ResolveEngineFromCounts) over the instance's
+// node count and *expected* edge count — validation must not build
+// graphs, and for the admission bound an estimate is exactly what is
+// needed.
+func plannedEngine(pin sim.Engine, hasBulk bool, beepLoss float64, nodes int, expEdges float64) sim.Engine {
+	if pin != sim.EngineAuto {
+		return pin
+	}
+	return sim.ResolveEngineFromCounts(nodes, int(math.Ceil(expEdges)), hasBulk, beepLoss, 0)
+}
+
+// admitFootprint bounds a unit by the estimated memory footprint of
+// the representation its compiled plan will actually use — the
+// adjacency lists every engine needs, plus the dense matrix for a
+// bitset/columnar plan or the CSR edge array for a sparse one. This is
+// what lets a sparse million-node spec through (its CSR is a few dozen
+// MB) while an infeasible dense pin on the same graph still fails at
+// submission time with the reason spelled out.
+func admitFootprint(pin sim.Engine, hasBulk bool, beepLoss float64, family string, nodes int, expEdges float64) (sim.Engine, error) {
+	planned := plannedEngine(pin, hasBulk, beepLoss, nodes, expEdges)
+	adj := adjacencyBytes(nodes, expEdges)
+	var rep float64
+	switch planned {
+	case sim.EngineBitset, sim.EngineColumnar:
+		rep = float64(graph.MatrixBytes(nodes))
+	case sim.EngineSparse:
+		rep = float64(graph.CSRBytes(nodes, 0)) + 8*expEdges
+	}
+	if total := adj + rep; total > float64(MaxUnitMemory) {
+		detail := fmt.Sprintf("≈%.3g expected edges need ≈%s of adjacency", expEdges, formatBytes(adj))
+		if rep > 0 {
+			detail = fmt.Sprintf("engine %q needs ≈%s for its %s on top of ≈%s of adjacency",
+				planned, formatBytes(rep), representationName(planned), formatBytes(adj))
+		}
+		hint := ""
+		if pin != sim.EngineAuto && pin != sim.EngineScalar && pin != sim.EngineSparse {
+			hint = `; pin "sparse" or use "auto"`
+		}
+		return planned, fmt.Errorf("scenario: family %q instance (n=%d) exceeds the %s memory bound: %s%s",
+			family, nodes, formatBytes(float64(MaxUnitMemory)), detail, hint)
+	}
+	return planned, nil
+}
+
+// representationName names an engine's adjacency representation for
+// error messages.
+func representationName(e sim.Engine) string {
+	switch e {
+	case sim.EngineBitset, sim.EngineColumnar:
+		return "dense adjacency matrix"
+	case sim.EngineSparse:
+		return "CSR edge array"
+	default:
+		return "adjacency"
+	}
+}
+
+// formatBytes renders a byte count in binary units for error messages.
+func formatBytes(b float64) string {
+	switch {
+	case b >= float64(int64(1)<<40):
+		return fmt.Sprintf("%.1f TiB", b/float64(int64(1)<<40))
+	case b >= float64(int64(1)<<30):
+		return fmt.Sprintf("%.1f GiB", b/float64(int64(1)<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", b/(1<<20))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
 }

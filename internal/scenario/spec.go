@@ -42,9 +42,15 @@ import (
 const (
 	// MaxNodes caps the node count of any single graph.
 	MaxNodes = 1 << 20
-	// MaxExpectedEdges caps the expected edge count of any single graph
-	// (≈2 GiB of CSR adjacency at the cap).
-	MaxExpectedEdges = 1 << 28
+	// MaxUnitMemory caps the estimated memory footprint of a unit's
+	// simulation: the graph's adjacency lists plus the representation
+	// the compiled plan will actually use (dense matrix for a
+	// bitset/columnar pin, CSR edge array for sparse, whatever the auto
+	// heuristic would pick otherwise). Bounding by footprint rather
+	// than by a blanket edge cap is what admits sparse million-node
+	// specs while still failing infeasible dense ones up front — a
+	// graph is only too big when the plan's representation is.
+	MaxUnitMemory = int64(4) << 30
 	// MaxTrials caps the per-unit trial count.
 	MaxTrials = 100000
 	// MaxUnits caps the number of units a sweep may expand to.
@@ -130,10 +136,11 @@ type Spec struct {
 	// 0 means 1/2.
 	FixedP float64 `json:"fixed_p,omitempty"`
 	// Engine picks the simulation engine: "auto" (default), "scalar",
-	// "bitset", or "columnar". Performance-only; excluded from the hash.
+	// "bitset", "columnar", or "sparse". Performance-only; excluded
+	// from the hash.
 	Engine string `json:"engine,omitempty"`
-	// Shards bounds the columnar engine's propagation goroutines.
-	// Performance-only; excluded from the hash.
+	// Shards bounds the columnar and sparse engines' propagation
+	// goroutines. Performance-only; excluded from the hash.
 	Shards int `json:"shards,omitempty"`
 	// Workers bounds the trial pool; 0 means GOMAXPROCS.
 	// Performance-only; excluded from the hash.
@@ -393,11 +400,11 @@ func validateEngine(engine string, beepLoss float64, shards int) (sim.Engine, er
 	if err != nil {
 		return eng, fmt.Errorf("scenario: %w", err)
 	}
-	if beepLoss > 0 && (eng == sim.EngineBitset || eng == sim.EngineColumnar) {
+	if beepLoss > 0 && (eng == sim.EngineBitset || eng == sim.EngineColumnar || eng == sim.EngineSparse) {
 		return eng, fmt.Errorf("scenario: engine %q does not support beep_loss (use scalar or auto)", engine)
 	}
-	if shards != 0 && eng != sim.EngineAuto && eng != sim.EngineColumnar {
-		return eng, fmt.Errorf("scenario: shards %d conflicts with engine %q (only the columnar engine shards propagation)", shards, engine)
+	if shards != 0 && eng != sim.EngineAuto && eng != sim.EngineColumnar && eng != sim.EngineSparse {
+		return eng, fmt.Errorf("scenario: shards %d conflicts with engine %q (only the columnar and sparse engines shard propagation)", shards, engine)
 	}
 	return eng, nil
 }

@@ -32,9 +32,11 @@ func TestParseRejectsMalformed(t *testing.T) {
 		{"p negative", `{"graph":{"family":"gnp","n":10,"p":-0.5},"algorithm":"feedback"}`, "outside"},
 		{"p above one", `{"graph":{"family":"gnp","n":10,"p":1.5},"algorithm":"feedback"}`, "outside"},
 		{"too many edges", `{"graph":{"family":"gnp","n":1000000,"p":0.9},"algorithm":"feedback"}`, "edges"},
+		{"dense pin infeasible", `{"graph":{"family":"gnp","n":1000000,"p":0.00001},"algorithm":"feedback","engine":"bitset"}`, "dense adjacency matrix"},
 		{"negative shards", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","shards":-1}`, "shards"},
 		{"shards on scalar", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","engine":"scalar","shards":2}`, "conflicts"},
 		{"loss on bitset", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","engine":"bitset","beep_loss":0.1}`, "beep_loss"},
+		{"loss on sparse", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","engine":"sparse","beep_loss":0.1}`, "beep_loss"},
 		{"loss out of range", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","beep_loss":1}`, "beep_loss"},
 		{"trials too large", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","trials":1000001}`, "trials"},
 		{"bad engine", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","engine":"warp"}`, "engine"},
@@ -75,6 +77,7 @@ func TestHashIgnoresPerformanceKnobs(t *testing.T) {
 	variants := []string{
 		`{"name":"labelled","graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9}`,
 		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"engine":"columnar"}`,
+		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"engine":"sparse"}`,
 		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"shards":4}`,
 		`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","trials":3,"seed":9,"workers":7}`,
 		// Explicit defaults hash like omitted ones.
@@ -165,6 +168,55 @@ func TestEqualHashMeansEqualBytes(t *testing.T) {
 	}
 }
 
+// TestMillionNodeBounds is the sparse-admission contract: a million-node
+// spec validates exactly when the representation its plan will use fits
+// in memory. The same graph that sails through under "auto" (planned
+// sparse, a few dozen MB of CSR) or "sparse" must fail up front under a
+// dense-matrix pin (125 GB) — with the reason spelled out — and the
+// engine choice must not move the content hash.
+func TestMillionNodeBounds(t *testing.T) {
+	const graphDoc = `"graph":{"family":"gnp","n":1000000,"p":0.00001}`
+	auto := mustParse(t, `{`+graphDoc+`,"algorithm":"feedback"}`)
+	c, err := auto.Compile()
+	if err != nil {
+		t.Fatalf("million-node sparse spec rejected: %v", err)
+	}
+	if got := c.Units[0].PlannedEngine; got.String() != "sparse" {
+		t.Fatalf("planned engine %v, want sparse", got)
+	}
+	for _, pin := range []string{"sparse", "scalar"} {
+		if err := mustParse(t, `{`+graphDoc+`,"algorithm":"feedback","engine":"`+pin+`"}`).Validate(); err != nil {
+			t.Fatalf("million-node spec with engine %q rejected: %v", pin, err)
+		}
+	}
+	for _, pin := range []string{"bitset", "columnar"} {
+		_, err := Parse(strings.NewReader(`{` + graphDoc + `,"algorithm":"feedback","engine":"` + pin + `"}`))
+		if err == nil {
+			t.Fatalf("infeasible dense pin %q accepted", pin)
+		}
+		for _, want := range []string{"dense adjacency matrix", "sparse"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("dense-pin error %q does not mention %q", err, want)
+			}
+		}
+	}
+	// Engine and bounds are performance knobs: every admitted variant of
+	// the same workload must share one content hash.
+	want, err := auto.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pin := range []string{"sparse", "scalar"} {
+		got, err := mustParse(t, `{`+graphDoc+`,"algorithm":"feedback","engine":"`+pin+`"}`).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("engine %q moved the content hash: %s vs %s", pin, got, want)
+		}
+	}
+}
+
 func TestSweepStillValidatesBaseAlgorithm(t *testing.T) {
 	_, err := Parse(strings.NewReader(
 		`{"graph":{"family":"gnp","n":30,"p":0.5},"algorithm":"bogus","sweep":{"algorithm":["feedback"]}}`))
@@ -218,6 +270,8 @@ func TestRunDeterministicAcrossWorkersAndEngines(t *testing.T) {
 		`{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5,"workers":4}`,
 		`{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5,"engine":"scalar"}`,
 		`{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5,"engine":"columnar","shards":3}`,
+		`{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5,"engine":"sparse","shards":3}`,
+		`{"graph":{"family":"gnp","n":80,"p":0.3},"algorithm":"feedback","trials":6,"seed":5,"engine":"sparse","workers":2}`,
 	} {
 		c, err := mustParse(t, variant).Compile()
 		if err != nil {

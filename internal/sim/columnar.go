@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	mathbits "math/bits"
 	"runtime"
 
 	"beepmis/internal/beep"
@@ -13,23 +14,29 @@ import (
 // runColumnar executes the round loop entirely on packed words: node
 // lifecycle masks are bitsets, beeps are drawn by the algorithm's bulk
 // kernel over struct-of-arrays state, joins are one AndNot
-// (beeped &^ heard), and both exchanges are sharded word-range OR
-// passes over the adjacency matrix. Per round it does O(n/64) word
-// operations plus one rng draw per eligible node, against the per-node
-// engines' five O(n) scans and n interface calls — and it is
-// bit-identical to them: the kernel draws from the same per-node
-// streams in node order, and every mask update mirrors a scalar-loop
-// transition.
-func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int) (*Result, error) {
+// (beeped &^ heard), and both exchanges are sharded destination-range
+// OR passes over prop's adjacency representation — the packed matrix
+// for EngineColumnar, the CSR edge arrays for EngineSparse (which also
+// substitutes the per-node adapter kernel when the algorithm has no
+// columnar one). Per round it does O(n/64) word operations plus one
+// rng draw per eligible node, against the per-node engines' five O(n)
+// scans and n interface calls — and it is bit-identical to them: the
+// kernel draws from the same per-node streams in node order, and every
+// mask update mirrors a scalar-loop transition.
+func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int, prop bulkPropagator, bulkFactory beep.BulkFactory) (*Result, error) {
 	n := g.N()
-	mat := g.Matrix()
 	degrees := make([]int, n)
+	// Per-node streams live in one contiguous backing array: at 10⁶
+	// nodes, a million separate Stream allocations are measurable in
+	// both time and GC pressure.
+	streamStore := make([]rng.Source, n)
 	streams := make([]*rng.Source, n)
 	for v := 0; v < n; v++ {
 		degrees[v] = g.Degree(v)
-		streams[v] = master.Stream(uint64(v))
+		master.StreamInto(&streamStore[v], uint64(v))
+		streams[v] = &streamStore[v]
 	}
-	bulk := opts.Bulk(beep.NetworkInfo{N: n, Degrees: degrees, MaxDegree: g.MaxDegree()})
+	bulk := bulkFactory(beep.NetworkInfo{N: n, Degrees: degrees, MaxDegree: g.MaxDegree()})
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -110,8 +117,16 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 		}
 		beeped.Zero()
 		bulk.BeepAll(eligible, streams, beeped)
-		beeped.ForEach(func(v int) { res.Beeps[v]++ })
-		res.TotalBeeps += beeped.Count()
+		beepCount := 0
+		for wi, w := range beeped {
+			base := wi << 6
+			for w != 0 {
+				res.Beeps[base+mathbits.TrailingZeros64(w)]++
+				w &= w - 1
+				beepCount++
+			}
+		}
+		res.TotalBeeps += beepCount
 		// With wake-up scheduling, established MIS members keep beeping
 		// so late wakers can never perceive silence next to them.
 		emitters := beeped
@@ -121,7 +136,7 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			emit.Or(inMIS)
 			emitters = emit
 		}
-		mat.PropagateInto(heard, emitters, shards)
+		prop.PropagateToTargets(heard, eligible, emitters, shards)
 		// Join rule: beeped into silence — one word operation.
 		copy(joined, beeped)
 		joined.AndNot(heard)
@@ -134,7 +149,7 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			emit.Or(inMIS)
 			announcers = emit
 		}
-		mat.PropagateInto(neighborJoined, announcers, shards)
+		prop.PropagateToTargets(neighborJoined, eligible, announcers, shards)
 		// State transitions: joiners enter the MIS, eligible nodes that
 		// heard an announcement become dominated, the rest observe the
 		// step. Masks are fixed before activeB mutates (eligible may

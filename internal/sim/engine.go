@@ -18,8 +18,9 @@ const (
 	// when a bulk kernel is supplied and the graph is dense enough for
 	// word-parallel delivery to win (with the packed adjacency matrix
 	// fitting the memory budget), EngineBitset under the same density
-	// test without a kernel, EngineScalar otherwise. This is the
-	// default.
+	// test without a kernel, EngineSparse when the matrix exceeds the
+	// budget but the CSR edge array fits, EngineScalar otherwise. This
+	// is the default. See ResolveEngine.
 	EngineAuto Engine = iota
 	// EngineScalar delivers beeps by walking CSR adjacency lists
 	// edge-by-edge: O(Σ deg(beeper)) per round, no extra memory. The
@@ -37,6 +38,15 @@ const (
 	// propagation is sharded across Options.Shards goroutines. Same
 	// memory requirement as EngineBitset; no BeepLoss.
 	EngineColumnar
+	// EngineSparse runs the columnar round loop over the O(n + m) CSR
+	// representation instead of the dense matrix: per exchange it walks
+	// only the CSR rows of the current emitters into the heard bitset,
+	// sharded by destination vertex range across Options.Shards
+	// goroutines. The one engine whose memory scales with edges rather
+	// than n², so it is how million-node graphs run. A bulk kernel is
+	// used when supplied; without one the per-node automata are driven
+	// through an adapter, so every algorithm qualifies. No BeepLoss.
+	EngineSparse
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +60,8 @@ func (e Engine) String() string {
 		return "bitset"
 	case EngineColumnar:
 		return "columnar"
+	case EngineSparse:
+		return "sparse"
 	default:
 		return fmt.Sprintf("engine(%d)", uint8(e))
 	}
@@ -66,37 +78,87 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineBitset, nil
 	case "columnar":
 		return EngineColumnar, nil
+	case "sparse":
+		return EngineSparse, nil
 	default:
-		return EngineAuto, fmt.Errorf("sim: unknown engine %q (want auto, scalar, bitset, or columnar)", s)
+		return EngineAuto, fmt.Errorf("sim: unknown engine %q (want auto, scalar, bitset, columnar, or sparse)", s)
 	}
 }
 
-// maxAutoMatrixBytes caps the adjacency-matrix memory EngineAuto will
-// spend: 2 GiB covers n = 10⁵ (1.25 GiB) with headroom and refuses the
-// n ≥ 10⁶ regime, where the matrix alone would be 125 GiB. An explicit
-// EngineBitset request is honoured regardless — the caller knows their
-// machine.
-const maxAutoMatrixBytes = int64(2) << 30
+// DefaultMemoryBudget caps the adjacency-representation memory
+// EngineAuto will spend when Options.MemoryBudget is zero: 2 GiB covers
+// a dense matrix up to n = 10⁵ (1.25 GiB) with headroom and refuses it
+// in the n ≥ 10⁶ regime, where the matrix alone would be 125 GiB —
+// there the CSR representation (O(n + m) bytes) takes over via
+// EngineSparse. An explicit engine pin is honoured regardless of the
+// budget — the caller knows their machine.
+const DefaultMemoryBudget = int64(2) << 30
 
-// bitsetWorthwhile is EngineAuto's density/size heuristic. Per emitting
+// ResolveEngine reports the engine a run of g under opts will actually
+// execute: the pin itself for a non-auto Options.Engine, and the auto
+// heuristic's choice otherwise. Exported so callers (misbench records,
+// capacity planners) can observe the selection — an auto run silently
+// degrading to the scalar walk was how million-node graphs used to lose
+// their speed without anyone noticing.
+//
+// The heuristic, in order: per-edge BeepLoss draws force the scalar
+// walk; graphs whose packed matrix fits the memory budget take the
+// word-parallel dense engines when dense enough for them to win
+// (columnar with a kernel, bitset without) and the scalar walk
+// otherwise; graphs whose matrix exceeds the budget take the sparse
+// CSR engine as long as the edge array fits, and degrade to scalar —
+// which needs no extra representation — only past that.
+func ResolveEngine(g *graph.Graph, opts Options) Engine {
+	if opts.Engine != EngineAuto {
+		return opts.Engine
+	}
+	return ResolveEngineFromCounts(g.N(), g.M(), opts.Bulk != nil, opts.BeepLoss, opts.MemoryBudget)
+}
+
+// ResolveEngineFromCounts is the auto heuristic over counts instead of
+// a built graph: n vertices, m edges, whether a bulk kernel will be
+// supplied, the BeepLoss setting, and the memory budget (<= 0 means
+// DefaultMemoryBudget). ResolveEngine delegates here; the scenario
+// compiler's admission planning calls it directly with its *expected*
+// edge counts, so the two can never drift apart.
+func ResolveEngineFromCounts(n, m int, hasBulk bool, beepLoss float64, budget int64) Engine {
+	if beepLoss > 0 {
+		return EngineScalar
+	}
+	if budget <= 0 {
+		budget = DefaultMemoryBudget
+	}
+	if graph.MatrixBytes(n) <= budget {
+		if !bitsetWorthwhile(n, m) {
+			return EngineScalar
+		}
+		if hasBulk {
+			return EngineColumnar
+		}
+		return EngineBitset
+	}
+	if graph.CSRBytes(n, m) <= budget {
+		return EngineSparse
+	}
+	return EngineScalar
+}
+
+// bitsetWorthwhile is EngineAuto's density heuristic. Per emitting
 // node a bitset round costs ⌈n/64⌉ word ORs against deg(v) random
 // writes for the scalar walk, so the break-even density is an average
 // degree of about n/64; word ops are cheaper than scattered writes, so
 // the threshold takes half that. Tiny graphs always qualify — the
-// matrix is a few cache lines.
-func bitsetWorthwhile(g *graph.Graph) bool {
-	n := g.N()
+// matrix is a few cache lines. (Whether the matrix fits the memory
+// budget is the resolver's job, not this predicate's.)
+func bitsetWorthwhile(n, m int) bool {
 	if n == 0 {
-		return false
-	}
-	if graph.MatrixBytes(n) > maxAutoMatrixBytes {
 		return false
 	}
 	if n <= 1024 {
 		return true
 	}
 	words := float64((n + 63) / 64)
-	return g.AvgDegree() >= words/2
+	return 2*float64(m)/float64(n) >= words/2
 }
 
 // propagator delivers one exchange: dst[w] becomes true for every w

@@ -19,9 +19,11 @@ type engineRun struct {
 }
 
 // runAllEngines executes the same configuration on every engine —
-// scalar, bitset, and the columnar kernel engine at shard counts 1, 3,
-// and GOMAXPROCS — and returns the labelled results. The first entry is
-// the scalar reference.
+// scalar, bitset, the sparse CSR engine driving per-node automata
+// through the adapter, and (when the algorithm has a kernel) the
+// columnar and sparse engines over it — the sharded ones at shard
+// counts 1, 3, and GOMAXPROCS — and returns the labelled results. The
+// first entry is the scalar reference.
 func runAllEngines(t *testing.T, g *graph.Graph, spec mis.Spec, seed uint64, opts Options) []engineRun {
 	t.Helper()
 	factory, bulk, err := mis.NewFactories(spec)
@@ -40,12 +42,21 @@ func runAllEngines(t *testing.T, g *graph.Graph, spec mis.Spec, seed uint64, opt
 	exec("scalar")
 	opts.Engine = EngineBitset
 	exec("bitset")
+	// The sparse engine without a kernel drives the per-node automata
+	// through the adapter — the path kernel-less algorithms take.
+	opts.Engine = EngineSparse
+	for _, shards := range []int{1, 3, 0} {
+		opts.Shards = shards
+		exec(fmt.Sprintf("sparse-pernode/shards=%d", shards))
+	}
 	if bulk != nil {
-		opts.Engine = EngineColumnar
 		opts.Bulk = bulk
-		for _, shards := range []int{1, 3, 0} {
-			opts.Shards = shards
-			exec(fmt.Sprintf("columnar/shards=%d", shards))
+		for _, engine := range []Engine{EngineColumnar, EngineSparse} {
+			opts.Engine = engine
+			for _, shards := range []int{1, 3, 0} {
+				opts.Shards = shards
+				exec(fmt.Sprintf("%v/shards=%d", engine, shards))
+			}
 		}
 	}
 	return runs
@@ -260,7 +271,7 @@ func TestBitsetWorthwhile(t *testing.T) {
 		{"mid-sparse", graph.GNP(5000, 0.001, rng.New(2)), false}, // deg ≈ 5 « words/2 ≈ 39
 	}
 	for _, tc := range tests {
-		if got := bitsetWorthwhile(tc.g); got != tc.want {
+		if got := bitsetWorthwhile(tc.g.N(), tc.g.M()); got != tc.want {
 			t.Errorf("%s: bitsetWorthwhile = %v, want %v (n=%d avgdeg=%.1f)",
 				tc.name, got, tc.want, tc.g.N(), tc.g.AvgDegree())
 		}
@@ -278,6 +289,7 @@ func TestParseEngine(t *testing.T) {
 		{"scalar", EngineScalar, true},
 		{"bitset", EngineBitset, true},
 		{"columnar", EngineColumnar, true},
+		{"sparse", EngineSparse, true},
 		{"simd", EngineAuto, false},
 	} {
 		got, err := ParseEngine(tc.in)
@@ -285,12 +297,75 @@ func TestParseEngine(t *testing.T) {
 			t.Errorf("ParseEngine(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
 		}
 	}
-	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset, EngineColumnar} {
+	for _, e := range []Engine{EngineAuto, EngineScalar, EngineBitset, EngineColumnar, EngineSparse} {
 		rt, err := ParseEngine(e.String())
 		if err != nil || rt != e {
 			t.Errorf("round-trip %v failed: %v, %v", e, rt, err)
 		}
 	}
+}
+
+// TestResolveEngine pins the auto heuristic's routing, including the
+// memory-budget fallback that used to degrade silently to the scalar
+// walk: above the matrix budget the sparse CSR engine now takes over,
+// and only a budget too small even for the edge array reaches scalar.
+func TestResolveEngine(t *testing.T) {
+	_, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := graph.GNP(2000, 0.5, rng.New(1))    // matrix 512 KB, dense
+	sparse := graph.GNP(5000, 0.001, rng.New(2)) // deg ≈ 5 « words/2
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		opts Options
+		want Engine
+	}{
+		{"pin wins", dense, Options{Engine: EngineScalar}, EngineScalar},
+		{"dense no kernel", dense, Options{}, EngineBitset},
+		{"dense kernel", dense, Options{Bulk: bulk}, EngineColumnar},
+		{"sparse under budget", sparse, Options{}, EngineScalar},
+		{"loss forces scalar", dense, Options{BeepLoss: 0.1}, EngineScalar},
+		// A 100 KB budget rejects dense's 500 KB matrix but admits its
+		// CSR edge array (≈ 2·10⁶ edges would not fit; 2000·0.5 ≈ 10⁶
+		// edges · 8 B ≈ 8 MB — so use the genuinely sparse graph).
+		{"over matrix budget", sparse, Options{MemoryBudget: 1 << 20}, EngineSparse},
+		// A budget below even the CSR bytes degrades to the scalar
+		// walk, which needs no extra representation.
+		{"over csr budget", sparse, Options{MemoryBudget: 1 << 10}, EngineScalar},
+	}
+	for _, tc := range tests {
+		if got := ResolveEngine(tc.g, tc.opts); got != tc.want {
+			t.Errorf("%s: ResolveEngine = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestEngineAutoRoutesSparseOverBudget runs the over-budget auto path
+// end to end: the run must succeed without ever building the dense
+// matrix and stay bit-identical to the scalar reference.
+func TestEngineAutoRoutesSparseOverBudget(t *testing.T) {
+	g := graph.GNP(3000, 0.004, rng.New(3))
+	opts := Options{MemoryBudget: 1 << 19} // matrix would need 1.1 MB
+	if got := ResolveEngine(g, opts); got != EngineSparse {
+		t.Fatalf("ResolveEngine = %v, want sparse (matrix %d B over budget %d)",
+			got, graph.MatrixBytes(g.N()), opts.MemoryBudget)
+	}
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Bulk = bulk
+	auto, err := Run(g, factory, rng.New(11), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := Run(g, factory, rng.New(11), Options{Engine: EngineScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalNamed(t, scalar, auto, "scalar", "auto-sparse")
 }
 
 // TestEnginesUnderTraceHook checks the per-round snapshots agree between
@@ -330,6 +405,26 @@ func TestEnginesUnderTraceHook(t *testing.T) {
 		return views
 	}
 	sv, bv, cv := capture(EngineScalar), capture(EngineBitset), capture(EngineColumnar)
+	// The sparse engine's per-node adapter must report the same
+	// probabilities and snapshots as the scalar loop it wraps.
+	pv := capture(EngineSparse)
+	if len(sv) != len(pv) {
+		t.Fatalf("round counts differ: scalar %d, sparse %d", len(sv), len(pv))
+	}
+	for r := range sv {
+		if sv[r].active != pv[r].active {
+			t.Fatalf("round %d active differs: scalar %d, sparse %d", r+1, sv[r].active, pv[r].active)
+		}
+		for v := range sv[r].beeped {
+			if sv[r].beeped[v] != pv[r].beeped[v] || sv[r].states[v] != pv[r].states[v] {
+				t.Fatalf("round %d vertex %d snapshot differs (scalar vs sparse)", r+1, v)
+			}
+			if sv[r].probs[v] != pv[r].probs[v] {
+				t.Fatalf("round %d vertex %d probability differs: scalar %v, sparse %v",
+					r+1, v, sv[r].probs[v], pv[r].probs[v])
+			}
+		}
+	}
 	if len(sv) != len(cv) {
 		t.Fatalf("round counts differ: scalar %d, columnar %d", len(sv), len(cv))
 	}

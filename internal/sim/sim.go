@@ -80,12 +80,18 @@ type Options struct {
 	// by EngineColumnar; EngineAuto upgrades to the columnar engine
 	// when it is present. Ignored by the per-node engines.
 	Bulk beep.BulkFactory
-	// Shards bounds the goroutines the columnar engine fans
+	// Shards bounds the goroutines the columnar and sparse engines fan
 	// propagation out to, partitioned by destination word ranges. 0
 	// means GOMAXPROCS; 1 keeps propagation on the calling goroutine.
 	// Results are bit-identical for every value — workers own disjoint
 	// destination words and OR is order-independent.
 	Shards int
+	// MemoryBudget caps the bytes EngineAuto will spend on an adjacency
+	// representation: the packed matrix is taken only when it fits, the
+	// CSR form only when its edge array does. 0 means
+	// DefaultMemoryBudget (2 GiB). Explicit engine pins ignore it — the
+	// caller knows their machine.
+	MemoryBudget int64
 	// BeepLoss is the probability that a given neighbour fails to hear a
 	// given beep in the first exchange (each beeper→listener pair drawn
 	// independently). Join announcements (second exchange) are assumed
@@ -152,18 +158,15 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("sim: Shards %d negative (0 = GOMAXPROCS, 1 = serial)", opts.Shards)
 	}
+	if opts.MemoryBudget < 0 {
+		return nil, fmt.Errorf("sim: MemoryBudget %d negative (0 = default %d bytes)", opts.MemoryBudget, DefaultMemoryBudget)
+	}
 	engine := opts.Engine
 	switch engine {
 	case EngineAuto:
-		engine = EngineScalar
-		if opts.BeepLoss == 0 && bitsetWorthwhile(g) {
-			engine = EngineBitset
-			if opts.Bulk != nil {
-				engine = EngineColumnar
-			}
-		}
+		engine = ResolveEngine(g, opts)
 	case EngineScalar:
-	case EngineBitset, EngineColumnar:
+	case EngineBitset, EngineColumnar, EngineSparse:
 		if opts.BeepLoss > 0 {
 			// Loss is drawn per (beeper, listener) edge in adjacency
 			// order; a word-parallel exchange has no per-edge step to
@@ -188,8 +191,24 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	if err := ValidateCrashes(n, opts.CrashAtRound); err != nil {
 		return nil, err
 	}
-	if engine == EngineColumnar {
-		return runColumnar(g, master, opts, maxRounds)
+	if engine == EngineColumnar || engine == EngineSparse {
+		// Same packed round loop, two adjacency backends: dense matrix
+		// rows for the columnar engine, CSR edge arrays for the sparse
+		// one. The sparse engine additionally runs kernel-less
+		// algorithms by driving the per-node automata through the
+		// adapter kernel, which draws from the same per-node streams in
+		// the same order as the scalar loop.
+		var prop bulkPropagator
+		bulkFactory := opts.Bulk
+		if engine == EngineSparse {
+			prop = g.CSR()
+			if bulkFactory == nil {
+				bulkFactory = perNodeBulkFactory(factory)
+			}
+		} else {
+			prop = g.Matrix()
+		}
+		return runColumnar(g, master, opts, maxRounds, prop, bulkFactory)
 	}
 	wake := opts.WakeAt
 	maxDeg := g.MaxDegree()

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math"
+
+	"beepmis/internal/beep"
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+// bulkPropagator delivers one exchange for the columnar round loop:
+// dst becomes the union of the adjacency rows of every vertex in
+// emitters — required to be correct at least at the bits in targets,
+// the only ones the round loop reads — with the destination word range
+// partitioned across up to `shards` goroutines. Both adjacency
+// representations satisfy it: *graph.AdjacencyMatrix (dense packed
+// rows, the columnar engine) always pushes, *graph.CSR (sorted edge
+// arrays, the sparse engine) chooses push or pull per exchange. Both
+// are bit-identical within targets for every shard count.
+type bulkPropagator interface {
+	PropagateToTargets(dst, targets, emitters graph.Bitset, shards int)
+}
+
+var (
+	_ bulkPropagator = (*graph.AdjacencyMatrix)(nil)
+	_ bulkPropagator = (*graph.CSR)(nil)
+)
+
+// perNodeBulk adapts per-node automata to the beep.BulkAutomaton
+// surface, so the sparse engine can run algorithms that have no
+// columnar kernel. It is observationally identical to the scalar
+// loop's per-node calls: BeepAll visits active nodes in increasing id
+// order drawing from each node's own stream, and ObserveAll delivers
+// exactly the per-node Outcome (an observed node never has a joining
+// neighbour — the engine owns the join rule).
+type perNodeBulk struct {
+	autos []beep.Automaton
+}
+
+// perNodeBulkFactory wraps a per-node factory as a bulk factory,
+// constructing the automata with the same NodeInfo the scalar loop
+// would pass.
+func perNodeBulkFactory(factory beep.Factory) beep.BulkFactory {
+	return func(net beep.NetworkInfo) beep.BulkAutomaton {
+		autos := make([]beep.Automaton, net.N)
+		for v := range autos {
+			autos[v] = factory(beep.NodeInfo{ID: v, N: net.N, Degree: net.Degrees[v], MaxDegree: net.MaxDegree})
+		}
+		return &perNodeBulk{autos: autos}
+	}
+}
+
+func (b *perNodeBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph.Bitset) {
+	active.ForEach(func(v int) {
+		if b.autos[v].Beep(streams[v]) {
+			out.Set(v)
+		}
+	})
+}
+
+func (b *perNodeBulk) ObserveAll(observed, beeped, heard graph.Bitset) {
+	observed.ForEach(func(v int) {
+		b.autos[v].Observe(beep.Outcome{Beeped: beeped.Test(v), Heard: heard.Test(v)})
+	})
+}
+
+// BeepProbabilities implements beep.BulkProbabilityReporter by
+// delegating to each automaton's optional per-node reporter, mirroring
+// the scalar loop's snapshot probabilities (NaN when an automaton does
+// not report).
+func (b *perNodeBulk) BeepProbabilities(dst []float64) {
+	for v, a := range b.autos {
+		if pr, ok := a.(beep.ProbabilityReporter); ok {
+			dst[v] = pr.BeepProbability()
+		} else {
+			dst[v] = math.NaN()
+		}
+	}
+}

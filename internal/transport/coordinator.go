@@ -111,12 +111,18 @@ func (c *Coordinator) Serve(opts CoordinatorOptions) (*CoordinatorResult, error)
 		}
 		id := int(ids[0])
 		if id < 0 || id >= n {
+			err := fmt.Errorf("%w: hello for vertex %d with n=%d", graph.ErrVertexRange, id, n)
+			_ = fc.Send(Frame{Type: TypeReject, Payload: []byte(err.Error())})
 			_ = raw.Close()
-			return nil, fmt.Errorf("%w: hello for vertex %d with n=%d", graph.ErrVertexRange, id, n)
+			return nil, err
 		}
 		if conns[id] != nil {
+			// Two node processes whose -vertices ranges overlap land
+			// here; tell the second one why before aborting the run.
+			err := fmt.Errorf("%w: vertex %d (another node process already hosts it — check -vertices ranges for overlap)", ErrVertexClaimed, id)
+			_ = fc.Send(Frame{Type: TypeReject, Payload: []byte(err.Error())})
 			_ = raw.Close()
-			return nil, fmt.Errorf("%w: vertex %d", ErrVertexClaimed, id)
+			return nil, err
 		}
 		welcome := u32Payload(uint32(n), uint32(c.g.Degree(id)), uint32(c.g.MaxDegree()))
 		if err := fc.Send(Frame{Type: TypeWelcome, Payload: welcome}); err != nil {

@@ -48,6 +48,12 @@ const (
 	TypeOutcome
 	// TypeStop ends the protocol. Payload: empty.
 	TypeStop
+	// TypeReject is the coordinator's refusal of a hello — the vertex
+	// id was out of range or already claimed by another connection.
+	// Payload: UTF-8 reason. Sent best-effort before the coordinator
+	// closes the connection, so the misconfigured node process reports
+	// the actual problem instead of an opaque EOF.
+	TypeReject
 )
 
 // Errors matched by callers.

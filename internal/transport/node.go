@@ -48,9 +48,15 @@ func RunNode(addr string, vertexID int, factory beep.Factory, src *rng.Source, o
 	if err := fc.Send(Frame{Type: TypeHello, Payload: u32Payload(uint32(vertexID))}); err != nil {
 		return nil, fmt.Errorf("node hello: %w", err)
 	}
-	welcome, err := fc.Expect(TypeWelcome)
+	welcome, err := fc.Recv()
 	if err != nil {
 		return nil, fmt.Errorf("node welcome: %w", err)
+	}
+	if welcome.Type == TypeReject {
+		return nil, fmt.Errorf("transport: coordinator rejected vertex %d: %s", vertexID, welcome.Payload)
+	}
+	if welcome.Type != TypeWelcome {
+		return nil, fmt.Errorf("%w: got type %d awaiting welcome", ErrBadFrame, welcome.Type)
 	}
 	vals, err := payloadU32s(welcome, 3)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -245,6 +246,122 @@ func TestCoordinatorRejectsOutOfRangeVertex(t *testing.T) {
 	}()
 	if err := <-serveErr; !errors.Is(err, graph.ErrVertexRange) {
 		t.Fatalf("Serve err = %v, want ErrVertexRange", err)
+	}
+}
+
+// TestNodeSeesClearRejection pins the TypeReject path: a node process
+// whose vertex is already hosted elsewhere (overlapping -vertices
+// ranges) must learn why, not just read EOF.
+func TestNodeSeesClearRejection(t *testing.T) {
+	g := graph.Empty(2)
+	coord, err := NewCoordinator(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	serveErr := make(chan error, 1)
+	go func() {
+		_, err := coord.Serve(CoordinatorOptions{})
+		serveErr <- err
+	}()
+	// First claim of vertex 0 succeeds at handshake time.
+	first, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = first.Close() }()
+	fc := NewConn(first)
+	if err := fc.Send(Frame{Type: TypeHello, Payload: u32Payload(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Expect(TypeWelcome); err != nil {
+		t.Fatal(err)
+	}
+	// The overlapping second claim must get the reason back.
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunNode(coord.Addr(), 0, factory, rng.New(1), NodeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "already hosts it") {
+		t.Fatalf("duplicate claim error %v, want the overlap spelled out", err)
+	}
+	if err := <-serveErr; !errors.Is(err, ErrVertexClaimed) {
+		t.Fatalf("Serve err = %v, want ErrVertexClaimed", err)
+	}
+}
+
+// TestCoordinatorAbortsOnMidRoundDisconnect covers a peer that
+// handshakes, participates in the opening exchange, and then drops its
+// connection mid-round: the coordinator's deadline-bounded round I/O
+// must abort the run with the failing vertex named — the same abort
+// path a DefaultIOTimeout expiry takes — rather than hang the
+// remaining peers.
+func TestCoordinatorAbortsOnMidRoundDisconnect(t *testing.T) {
+	g := graph.Path(2) // connected, so the survivor cannot finish alone
+	coord, err := NewCoordinator(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	serveErr := make(chan error, 1)
+	go func() {
+		_, err := coord.Serve(CoordinatorOptions{IOTimeout: 2 * time.Second})
+		serveErr <- err
+	}()
+
+	// Vertex 1 handshakes, answers the first beep exchange, then
+	// disconnects without sending its join bit.
+	quitter, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := NewConn(quitter)
+	if err := fc.Send(Frame{Type: TypeHello, Payload: u32Payload(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Expect(TypeWelcome); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if _, err := fc.Expect(TypeRound); err != nil {
+			_ = quitter.Close()
+			return
+		}
+		_ = fc.Send(Frame{Type: TypeBeep, Payload: boolByte(false)})
+		if _, err := fc.Expect(TypeHeard); err != nil {
+			_ = quitter.Close()
+			return
+		}
+		_ = quitter.Close() // gone before the join exchange
+	}()
+
+	factory, err := mis.NewFeedback(mis.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeErr := make(chan error, 1)
+	go func() {
+		_, err := RunNode(coord.Addr(), 0, factory, rng.New(1), NodeOptions{IOTimeout: 2 * time.Second})
+		nodeErr <- err
+	}()
+
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("Serve succeeded despite a mid-round disconnect")
+		}
+		if !strings.Contains(err.Error(), "vertex 1") {
+			t.Fatalf("abort error %v does not name the failing vertex", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve hung on a mid-round disconnect")
+	}
+	// The surviving node must also be released (error or stop), not hang.
+	select {
+	case <-nodeErr:
+	case <-time.After(10 * time.Second):
+		t.Fatal("surviving node hung after coordinator abort")
 	}
 }
 

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # bench.sh — record the across-PR engine benchmark trajectory.
 #
-# Runs `misbench -bench -json` on the standard graph pair — the dense
-# G(20000, 1/2) and the sparse G(100000, 0.05) used by every PR's
-# engine comparison — and writes one JSON record per engine per
-# workload. Records carry goversion/gomaxprocs/timestamp, so files from
-# different machines remain interpretable side by side.
+# Runs `misbench -bench -json` on the standard workload trio — the
+# dense G(20000, 1/2) and sparse G(100000, 0.05) used by every PR's
+# engine comparison, plus the large-sparse G(10^6, 10/n) that only the
+# scalar and sparse engines can hold — and writes ONE top-level JSON
+# array of records (the stable schema trajectory tooling parses; the
+# pre-PR4 files were newline-delimited records, which `jq .` and every
+# plain JSON decoder read as one record followed by trailing garbage).
+# Records carry engine, auto_engine, goversion/gomaxprocs/timestamp and
+# heap_mb, so files from different machines remain interpretable side
+# by side.
 #
 # The outfile argument is required: committed trajectory files
 # (BENCH_pr3.json, …) are per-PR records, and a default would invite
@@ -20,7 +25,26 @@ cd "$(dirname "$0")/.."
 out="${1:?usage: scripts/bench.sh BENCH_pr<N>.json (outfile required)}"
 runs="${BENCH_RUNS:-3}"
 
-go run ./cmd/misbench -bench -json -benchn 20000 -benchp 0.5 -benchruns "$runs" >"$out"
-go run ./cmd/misbench -bench -json -benchn 100000 -benchp 0.05 -benchruns "$runs" >>"$out"
+tmp="$(mktemp)"
+bin="$(mktemp)"
+trap 'rm -f "$tmp" "$bin"' EXIT
 
-echo "wrote $(wc -l <"$out") records to $out" >&2
+go build -o "$bin" ./cmd/misbench
+
+"$bin" -bench -json -benchn 20000 -benchp 0.5 -benchruns "$runs" >"$tmp"
+"$bin" -bench -json -benchn 100000 -benchp 0.05 -benchruns "$runs" >>"$tmp"
+# Large-sparse: a single run is already most of a minute of scalar wall
+# clock, and the auto enumeration measures only the engines whose
+# representation fits the memory budget — scalar and sparse here (the
+# dense matrix would need 125 GB).
+"$bin" -bench -json -benchn 1000000 -benchp 0.00001 -benchruns 1 >>"$tmp"
+
+# Wrap the one-record-per-line stream into a single top-level JSON
+# array (records are single lines by construction).
+{
+  echo '['
+  sed '$!s/$/,/' "$tmp"
+  echo ']'
+} >"$out"
+
+echo "wrote $(($(wc -l <"$out") - 2)) records to $out" >&2
