@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 
+	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/mis"
 	"beepmis/internal/rng"
@@ -43,6 +44,39 @@ type GraphBuilder = graph.Builder
 // FeedbackConfig tunes the feedback algorithm; its zero value is the
 // published algorithm (p₀ = 1/2, halve/double, cap 1/2, no floor).
 type FeedbackConfig = mis.FeedbackConfig
+
+// FaultSpec declares a run's fault model for WithFaults: per-listener
+// channel noise (Loss, Spurious), adversarial wake-up schedules, and
+// transient outages with resume-or-reset recovery. The zero value is
+// the perfect world. Every fault feature is engine-agnostic — noisy
+// runs execute on all four simulator engines with bit-identical
+// results.
+type FaultSpec = fault.Spec
+
+// FaultWake declares a wake-up schedule inside a FaultSpec: kind
+// WakeUniform (each node wakes uniformly in [1, Window]), WakeDegree
+// (hubs wake last, deterministically), or WakeExplicit (listed rounds).
+type FaultWake = fault.Wake
+
+// Wake schedule kinds for FaultWake.Kind.
+const (
+	WakeUniform  = fault.WakeUniform
+	WakeDegree   = fault.WakeDegree
+	WakeExplicit = fault.WakeExplicit
+)
+
+// FaultOutage takes one node down for rounds [From, From+For) inside a
+// FaultSpec; Reset selects reset (fresh state) over resume recovery.
+type FaultOutage = fault.Outage
+
+// FaultVerifier incrementally checks independence every round and
+// maximality at termination; see NewFaultVerifier.
+type FaultVerifier = fault.Verifier
+
+// NewFaultVerifier returns a per-round MIS safety checker for g. It is
+// driven by the simulator automatically when solving with WithFaults;
+// construct one directly to use with custom sim integrations.
+func NewFaultVerifier(g *Graph) *FaultVerifier { return fault.NewVerifier(g) }
 
 // NewGraphBuilder returns a builder for a graph with n vertices.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
@@ -152,6 +186,25 @@ type Result struct {
 	TotalBeeps int
 	// MessageBits counts message payload bits (Luby variants only).
 	MessageBits int
+	// Robustness carries the per-round fault verifier's findings; nil
+	// unless the run was solved WithFaults.
+	Robustness *RobustnessReport
+}
+
+// RobustnessReport is what the fault verifier observed during a noisy
+// run: whether the output may be trusted, and how long it took to earn
+// that trust.
+type RobustnessReport struct {
+	// IndependenceViolations counts adjacent-member breaches observed
+	// across all rounds (loss noise can admit two adjacent joiners).
+	IndependenceViolations int
+	// StableRound is the last round MIS membership changed — the
+	// honest convergence metric under faults, where the set can be
+	// perturbed and repaired after first looking finished.
+	StableRound int
+	// Uncovered lists the nodes with no set coverage at termination (a
+	// maximality hole left by, e.g., a reset of an established member).
+	Uncovered []int
 }
 
 // SetSize returns the number of vertices in the computed set.
@@ -182,6 +235,7 @@ type solveOptions struct {
 	engine       Engine
 	shards       int
 	memoryBudget int64
+	faults       *FaultSpec
 }
 
 // Option customises Solve.
@@ -232,6 +286,18 @@ func WithMemoryBudget(bytes int64) Option {
 	return func(o *solveOptions) { o.memoryBudget = bytes }
 }
 
+// WithFaults runs a beeping algorithm under the given fault model:
+// per-listener beep loss and spurious noise, adversarial wake-up
+// schedules, and transient outages (see FaultSpec). The fault layer is
+// engine-agnostic — results stay bit-identical across every simulator
+// engine and shard count for a given seed — and the returned Result
+// carries a RobustnessReport from the per-round verifier. Combining a
+// non-trivial spec with WithConcurrentEngine is an error: the
+// goroutine-per-node runtime has no fault layer.
+func WithFaults(spec FaultSpec) Option {
+	return func(o *solveOptions) { o.faults = &spec }
+}
+
 // WithConcurrentEngine runs beeping algorithms on the goroutine-per-node
 // engine instead of the sequential simulator. Results are identical for
 // a given seed; the concurrent engine exists to demonstrate (and test)
@@ -276,6 +342,9 @@ func Solve(g *Graph, algo Algorithm, opts ...Option) (*Result, error) {
 			if o.shards != 0 {
 				return nil, fmt.Errorf("beepmis: WithShards(%d) conflicts with WithConcurrentEngine (sharded propagation belongs to the columnar simulator engine)", o.shards)
 			}
+			if o.faults.Enabled() {
+				return nil, fmt.Errorf("beepmis: WithFaults conflicts with WithConcurrentEngine (the goroutine-per-node runtime has no fault layer)")
+			}
 			rr, err := runtime.Run(g, factory, rng.New(o.seed), runtime.Options{MaxRounds: o.maxRounds})
 			if err != nil {
 				return nil, err
@@ -285,17 +354,32 @@ func Solve(g *Graph, algo Algorithm, opts ...Option) (*Result, error) {
 		if o.shards != 0 && o.engine != EngineAuto && o.engine != EngineColumnar && o.engine != EngineSparse {
 			return nil, fmt.Errorf("beepmis: WithShards(%d) conflicts with WithEngine(%v) (only the columnar and sparse engines shard propagation)", o.shards, o.engine)
 		}
-		sr, err := sim.Run(g, factory, rng.New(o.seed), sim.Options{
+		simOpts := sim.Options{
 			MaxRounds:    o.maxRounds,
 			Engine:       o.engine,
 			Bulk:         bulk,
 			Shards:       o.shards,
 			MemoryBudget: o.memoryBudget,
-		})
+			Faults:       o.faults,
+		}
+		var verifier *fault.Verifier
+		if o.faults.Enabled() {
+			verifier = fault.NewVerifier(g)
+			simOpts.OnMISDelta = verifier.ObserveRound
+		}
+		sr, err := sim.Run(g, factory, rng.New(o.seed), simOpts)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{InMIS: sr.InMIS, Rounds: sr.Rounds, TotalBeeps: sr.TotalBeeps}, nil
+		res := &Result{InMIS: sr.InMIS, Rounds: sr.Rounds, TotalBeeps: sr.TotalBeeps}
+		if verifier != nil {
+			res.Robustness = &RobustnessReport{
+				IndependenceViolations: verifier.ViolationCount(),
+				StableRound:            verifier.LastChangeRound(),
+				Uncovered:              verifier.Uncovered(nil),
+			}
+		}
+		return res, nil
 	default:
 		return nil, fmt.Errorf("beepmis: unknown algorithm %q (have %v)", algo, Algorithms())
 	}

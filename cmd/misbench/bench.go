@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/mis"
 	"beepmis/internal/rng"
@@ -29,15 +30,19 @@ type benchRecord struct {
 	Shards     int     `json:"shards"`
 	N          int     `json:"n"`
 	P          float64 `json:"p"`
-	Runs       int     `json:"runs"`
-	Rounds     float64 `json:"rounds"`
-	Beeps      float64 `json:"beeps"`
-	NsPerRound float64 `json:"ns_per_round"`
-	NsPerRun   float64 `json:"ns_per_run"`
-	HeapMB     float64 `json:"heap_mb"`
-	GoVersion  string  `json:"goversion"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	Timestamp  string  `json:"timestamp"` // ISO-8601 (RFC 3339), UTC
+	// Faults is the normalised fault-model JSON the runs executed under
+	// (absent for the clean baseline), so noisy and clean trajectory
+	// records are distinguishable without out-of-band context.
+	Faults     *fault.Spec `json:"faults,omitempty"`
+	Runs       int         `json:"runs"`
+	Rounds     float64     `json:"rounds"`
+	Beeps      float64     `json:"beeps"`
+	NsPerRound float64     `json:"ns_per_round"`
+	NsPerRun   float64     `json:"ns_per_run"`
+	HeapMB     float64     `json:"heap_mb"`
+	GoVersion  string      `json:"goversion"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Timestamp  string      `json:"timestamp"` // ISO-8601 (RFC 3339), UTC
 }
 
 // runEngineBench times whole simulation runs of the feedback algorithm
@@ -48,12 +53,16 @@ type benchRecord struct {
 // shard bound); a pin measures just that engine. Results of all engines
 // are seed-identical — the benchmark varies only the wall clock, which
 // is the point.
-func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine sim.Engine, shards int, memBudget int64, asJSON bool) error {
+func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine sim.Engine, shards int, memBudget int64, faults *fault.Spec, asJSON bool) error {
 	if n <= 0 || runs <= 0 {
 		return fmt.Errorf("bench needs positive -benchn and -benchruns (got %d, %d)", n, runs)
 	}
 	if p < 0 || p > 1 {
 		return fmt.Errorf("bench edge probability %v outside [0,1]", p)
+	}
+	faults = faults.Normalized()
+	if err := faults.Validate(n); err != nil {
+		return err
 	}
 	g := graph.GNP(n, p, rng.New(seed))
 	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
@@ -100,7 +109,7 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 	}
 	enc := json.NewEncoder(w)
 	for _, e := range engines {
-		opts := sim.Options{Engine: e, Shards: shards, MemoryBudget: memBudget}
+		opts := sim.Options{Engine: e, Shards: shards, MemoryBudget: memBudget, Faults: faults}
 		recShards := 1
 		if e == sim.EngineColumnar || e == sim.EngineSparse {
 			recShards = effectiveShards
@@ -131,6 +140,7 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 			Shards:     recShards,
 			N:          n,
 			P:          p,
+			Faults:     faults,
 			Runs:       runs,
 			Rounds:     rounds / float64(runs),
 			Beeps:      beeps / float64(runs),
@@ -147,8 +157,16 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 			}
 			continue
 		}
-		fmt.Fprintf(w, "%-9s shards=%-2d G(%d,%g): %.1f rounds/run, %.0f beeps/run, %.0f ns/round, %.2f ms/run, heap %.0f MB (auto→%s)\n",
-			rec.Engine, rec.Shards, rec.N, rec.P, rec.Rounds, rec.Beeps, rec.NsPerRound, rec.NsPerRun/1e6, rec.HeapMB, rec.AutoEngine)
+		noisy := ""
+		if faults != nil {
+			// The full normalised spec, exactly as the JSON records stamp
+			// it — wake schedules and outages included, not just noise.
+			if b, err := json.Marshal(faults); err == nil {
+				noisy = fmt.Sprintf(" [faults %s]", b)
+			}
+		}
+		fmt.Fprintf(w, "%-9s shards=%-2d G(%d,%g): %.1f rounds/run, %.0f beeps/run, %.0f ns/round, %.2f ms/run, heap %.0f MB (auto→%s)%s\n",
+			rec.Engine, rec.Shards, rec.N, rec.P, rec.Rounds, rec.Beeps, rec.NsPerRound, rec.NsPerRun/1e6, rec.HeapMB, rec.AutoEngine, noisy)
 	}
 	return nil
 }

@@ -165,6 +165,59 @@ func TestShardsConflictsWithEnginePin(t *testing.T) {
 	}
 }
 
+// TestBenchFaultsFlag covers misbench -faults: noisy records carry the
+// normalised spec, run on every engine (unlike the legacy per-edge
+// -beep-loss model), and stay seed-identical across engines.
+func TestBenchFaultsFlag(t *testing.T) {
+	var out bytes.Buffer
+	args := append([]string{}, append(benchArgs, "-json", "-faults", `{"loss":0.05,"spurious":0.01}`)...)
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]benchRecord{}
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var rec benchRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		if rec.Faults == nil || rec.Faults.Loss != 0.05 || rec.Faults.Spurious != 0.01 {
+			t.Fatalf("record missing the fault stamp: %+v", rec)
+		}
+		engines[rec.Engine] = rec
+	}
+	// All four engines run the noisy workload — the fault layer is
+	// engine-agnostic — and agree bit-for-bit.
+	for _, name := range []string{"scalar", "bitset", "columnar", "sparse"} {
+		rec, ok := engines[name]
+		if !ok {
+			t.Fatalf("no noisy record for engine %q", name)
+		}
+		if rec.Rounds != engines["scalar"].Rounds || rec.Beeps != engines["scalar"].Beeps {
+			t.Fatalf("engine %s disagrees under faults: %+v vs %+v", name, rec, engines["scalar"])
+		}
+	}
+	// The flag is validated: malformed and out-of-range specs fail.
+	if err := run([]string{"-bench", "-faults", `{"loss":2}`}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-faults with loss 2 accepted")
+	}
+	if err := run([]string{"-bench", "-faults", `{nope`}, &bytes.Buffer{}); err == nil {
+		t.Fatal("malformed -faults accepted")
+	}
+	// An all-zero spec is the clean baseline: no stamp in the record.
+	var clean bytes.Buffer
+	if err := run(append([]string{}, append(benchArgs, "-json", "-faults", `{}`)...), &clean); err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal([]byte(strings.SplitN(clean.String(), "\n", 2)[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Faults != nil {
+		t.Fatalf("all-zero faults spec stamped a record: %+v", rec)
+	}
+}
+
 func TestBenchRejectsBadWorkload(t *testing.T) {
 	if err := run([]string{"-bench", "-benchn", "0"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("-benchn 0 accepted")

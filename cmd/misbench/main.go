@@ -13,6 +13,8 @@
 //	misbench -bench -json                   # machine-readable engine benchmark
 //	misbench -bench -json -benchn 1000000 -benchp 0.00001 -benchruns 1
 //	                                        # million-node: scalar vs sparse only
+//	misbench -bench -json -faults '{"loss":0.05,"spurious":0.01}'
+//	                                        # noisy-channel overhead vs the clean baseline
 //
 // Trials run in parallel on a bounded worker pool; output is
 // bit-identical for any -workers value, any -engine choice, and any
@@ -35,6 +37,7 @@ import (
 	"os"
 
 	"beepmis/internal/experiment"
+	"beepmis/internal/fault"
 	"beepmis/internal/sim"
 )
 
@@ -67,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 		benchP    = fs.Float64("benchp", 0.5, "bench edge probability p for G(n,p)")
 		benchR    = fs.Int("benchruns", 3, "bench simulation runs per engine")
 		asJSON    = fs.Bool("json", false, "emit -bench results as JSON records (engine, auto_engine, shards, rounds, ns/round, beeps, heap)")
+		faultsDoc = fs.String("faults", "", `fault-model JSON (e.g. '{"loss":0.05,"spurious":0.01}'): per-listener channel noise, wake schedules, outages — applied to every trial on every engine`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +78,13 @@ func run(args []string, stdout io.Writer) error {
 	eng, err := sim.ParseEngine(*engine)
 	if err != nil {
 		return err
+	}
+	var faults *fault.Spec
+	if *faultsDoc != "" {
+		faults, err = fault.ParseSpec([]byte(*faultsDoc))
+		if err != nil {
+			return err
+		}
 	}
 	if *shards != 0 && eng != sim.EngineAuto && eng != sim.EngineColumnar && eng != sim.EngineSparse {
 		// Mirror beepmis.WithShards: only the columnar and sparse
@@ -84,7 +95,7 @@ func run(args []string, stdout io.Writer) error {
 	if *memBudget < 0 {
 		return fmt.Errorf("-membudget %d negative (0 = default)", *memBudget)
 	}
-	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN, Workers: *workers, Engine: eng, Shards: *shards, MemoryBudget: *memBudget}
+	cfg := experiment.Config{Seed: *seed, Trials: *trials, MaxN: *maxN, Workers: *workers, Engine: eng, Shards: *shards, MemoryBudget: *memBudget, Faults: faults}
 	if *asJSON && !*bench {
 		return fmt.Errorf("-json applies to -bench output (experiments have -format json)")
 	}
@@ -98,7 +109,7 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 	if *bench {
-		return runEngineBench(w, *benchN, *benchP, *benchR, *seed, eng, *shards, *memBudget, *asJSON)
+		return runEngineBench(w, *benchN, *benchP, *benchR, *seed, eng, *shards, *memBudget, faults, *asJSON)
 	}
 	if *list {
 		for _, id := range experiment.IDs() {

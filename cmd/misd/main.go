@@ -10,9 +10,16 @@
 //	misd -addr :8080 -jobs 2 -queue 64
 //
 //	curl -X POST --data-binary @scenarios/quickstart.json localhost:8080/v1/scenarios
+//	curl -X POST --data-binary @scenarios/noisy-async.json localhost:8080/v1/scenarios
 //	curl localhost:8080/v1/scenarios/<id>
 //	curl localhost:8080/v1/scenarios/<id>/result
 //	curl -N localhost:8080/v1/scenarios/<id>/events
+//
+// Specs may carry a "faults" block (channel noise, adversarial wake-up,
+// transient outages — see internal/fault); it changes results, so it is
+// part of the content hash, and every noisy run is checked round by
+// round by the fault verifier, whose findings appear in the result
+// JSON (independent_every_round, stable_rounds, …).
 //
 // The same spec files drive the one-shot CLI (misrun -scenario); both
 // paths produce byte-identical result JSON.

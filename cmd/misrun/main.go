@@ -9,6 +9,7 @@
 //	misrun -graph file -in network.edges -algo luby-permutation -show-set
 //	misrun -graph gnp -n 100 -algo feedback -engine concurrent
 //	misrun -graph gnp -n 1000000 -p 0.00001 -algo feedback -engine sparse
+//	misrun -graph gnp -n 500 -algo feedback -faults '{"loss":0.05,"wake":{"kind":"uniform","window":12}}'
 //	misrun -scenario scenarios/quickstart.json
 //	misrun -scenario sweep.json -hash
 //
@@ -26,6 +27,7 @@ import (
 	"os"
 
 	"beepmis"
+	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/scenario"
 	"beepmis/internal/sim"
@@ -54,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		engine    = fs.String("engine", "sim", "execution engine: sim (auto-selected simulator), concurrent, or a simulator engine pin (scalar, bitset, columnar, sparse)")
 		showSet   = fs.Bool("show-set", false, "print the selected vertex set")
 		maxRounds = fs.Int("max-rounds", 0, "cap on synchronous rounds (0 = default)")
+		faultsDoc = fs.String("faults", "", `fault-model JSON (e.g. '{"loss":0.05,"spurious":0.01,"wake":{"kind":"uniform","window":12}}'): channel noise, wake schedules, outages`)
 		scenarioF = fs.String("scenario", "", "run a declarative scenario spec file and print its result JSON")
 		hashOnly  = fs.Bool("hash", false, "with -scenario: print the spec's content hash and exit")
 	)
@@ -92,6 +95,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := []beepmis.Option{beepmis.WithSeed(*seed + 1), beepmis.WithMaxRounds(*maxRounds)}
+	var breakable bool
+	if *faultsDoc != "" {
+		spec, err := fault.ParseSpec([]byte(*faultsDoc))
+		if err != nil {
+			return err
+		}
+		// Only loss and outages can legitimately break the output (lost
+		// aggregate signals admit adjacent joiners; a down or reset MIS
+		// member abandons its neighbours). Wake-only and spurious-only
+		// models always yield a valid MIS, so a failure there is an
+		// engine bug and must stay fatal.
+		breakable = spec.Loss > 0 || len(spec.Outages) > 0
+		opts = append(opts, beepmis.WithFaults(*spec))
+	}
 	switch *engine {
 	case "sim", "auto":
 		// The simulator's auto-selection, the default.
@@ -109,8 +126,9 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := beepmis.Verify(g, res.InMIS); err != nil {
-		return fmt.Errorf("output verification: %w", err)
+	verifyErr := beepmis.Verify(g, res.InMIS)
+	if verifyErr != nil && !breakable {
+		return fmt.Errorf("output verification: %w", verifyErr)
 	}
 
 	fmt.Fprintf(stdout, "graph: n=%d m=%d maxdeg=%d\n", g.N(), g.M(), g.MaxDegree())
@@ -123,7 +141,18 @@ func run(args []string, stdout io.Writer) error {
 	if res.MessageBits > 0 {
 		fmt.Fprintf(stdout, "message bits: %d\n", res.MessageBits)
 	}
-	fmt.Fprintln(stdout, "verified: maximal independent set ✓")
+	if r := res.Robustness; r != nil {
+		fmt.Fprintf(stdout, "stable at round: %d\n", r.StableRound)
+		fmt.Fprintf(stdout, "independence violations: %d\n", r.IndependenceViolations)
+		fmt.Fprintf(stdout, "uncovered nodes: %d\n", len(r.Uncovered))
+	}
+	if verifyErr != nil {
+		// A noisy channel can genuinely break the output; that is the
+		// measurement, not a tool failure.
+		fmt.Fprintf(stdout, "verified: NOT a maximal independent set under this fault model (%v)\n", verifyErr)
+	} else {
+		fmt.Fprintln(stdout, "verified: maximal independent set ✓")
+	}
 	if *showSet {
 		fmt.Fprintf(stdout, "set: %v\n", graph.SetToList(res.InMIS))
 	}

@@ -85,6 +85,76 @@ func TestScenarioErrors(t *testing.T) {
 	}
 }
 
+// TestNoisyAsyncGoldenRoundTrip runs the committed noisy-async golden
+// scenario — staggered wake-up over a 5%-loss channel — through both the
+// CLI and a misd-style HTTP submission: the bytes must match, and the
+// fault verifier must certify the run clean (independence every round,
+// maximality at termination), which is what makes this particular
+// (graph, seed) pair golden.
+func TestNoisyAsyncGoldenRoundTrip(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "scenarios", "noisy-async.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli bytes.Buffer
+	if err := run([]string{"-scenario", writeScenario(t, string(doc))}, &cli); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Units []struct {
+			Verified              bool `json:"verified"`
+			IndependentEveryRound bool `json:"independent_every_round"`
+			MaximalAtTermination  bool `json:"maximal_at_termination"`
+			Violations            int  `json:"independence_violations"`
+		} `json:"units"`
+	}
+	if err := json.Unmarshal(cli.Bytes(), &report); err != nil {
+		t.Fatalf("not a report: %v", err)
+	}
+	u := report.Units[0]
+	if !u.Verified || !u.IndependentEveryRound || !u.MaximalAtTermination || u.Violations != 0 {
+		t.Fatalf("golden noisy scenario no longer verifies clean: %+v (pick a new seed if the fault model changed)", u)
+	}
+
+	mgr := service.New(service.Options{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Close(ctx)
+	}()
+	srv := httptest.NewServer(mgr.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/scenarios", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	job, ok := mgr.Job(sub.ID)
+	if !ok {
+		t.Fatalf("job %s missing", sub.ID)
+	}
+	select {
+	case <-mgr.Done(job):
+	case <-time.After(30 * time.Second):
+		t.Fatal("noisy-async job never finished")
+	}
+	res, err := http.Get(srv.URL + "/v1/scenarios/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpBytes, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !bytes.Equal(cli.Bytes(), httpBytes) {
+		t.Fatalf("noisy-async CLI and HTTP result bytes differ:\ncli:  %s\nhttp: %s", cli.String(), httpBytes)
+	}
+}
+
 // TestScenarioRoundTripWithService is the PR's acceptance criterion:
 // the same spec file through `misrun -scenario` and through a misd-style
 // HTTP submission produces byte-identical result JSON, and resubmitting

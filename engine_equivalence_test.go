@@ -71,6 +71,85 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 }
 
+// TestEngineEquivalenceUnderFaults extends the public seed-equivalence
+// contract to the fault layer: for every fault-spec combination —
+// channel noise, adversarial wake-up, transient outages with resets —
+// all four simulator engines at several shard counts produce identical
+// Results and RobustnessReports. This is the PR's acceptance matrix at
+// the API level; the per-engine trace-level matrix lives in
+// internal/sim.
+func TestEngineEquivalenceUnderFaults(t *testing.T) {
+	g := GNP(170, 0.25, 6)
+	specs := []struct {
+		name string
+		spec FaultSpec
+	}{
+		{"noise", FaultSpec{Loss: 0.05, Spurious: 0.01}},
+		{"wake-uniform", FaultSpec{Wake: &FaultWake{Kind: WakeUniform, Window: 10}}},
+		{"wake-degree", FaultSpec{Wake: &FaultWake{Kind: WakeDegree, Window: 7}}},
+		{"outages", FaultSpec{Outages: []FaultOutage{
+			{Node: 3, From: 2, For: 4},
+			{Node: 64, From: 1, For: 3, Reset: true},
+		}}},
+		{"combined", FaultSpec{
+			Loss:     0.03,
+			Spurious: 0.01,
+			Wake:     &FaultWake{Kind: WakeUniform, Window: 5},
+			Outages:  []FaultOutage{{Node: 10, From: 3, For: 4, Reset: true}},
+		}},
+	}
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"bitset", []Option{WithEngine(EngineBitset)}},
+		{"columnar-1", []Option{WithEngine(EngineColumnar), WithShards(1)}},
+		{"columnar-3", []Option{WithEngine(EngineColumnar), WithShards(3)}},
+		{"sparse-1", []Option{WithEngine(EngineSparse), WithShards(1)}},
+		{"sparse-all", []Option{WithEngine(EngineSparse)}},
+	}
+	for _, fc := range specs {
+		for _, algo := range []Algorithm{AlgorithmFeedback, AlgorithmGlobalSweep} {
+			for _, seed := range []uint64{1, 99} {
+				scalar, err := Solve(g, algo, WithSeed(seed), WithEngine(EngineScalar), WithFaults(fc.spec))
+				if err != nil {
+					t.Fatalf("%s/%s scalar: %v", fc.name, algo, err)
+				}
+				if scalar.Robustness == nil {
+					t.Fatalf("%s/%s: faulty run returned no RobustnessReport", fc.name, algo)
+				}
+				for _, variant := range variants {
+					res, err := Solve(g, algo, append([]Option{WithSeed(seed), WithFaults(fc.spec)}, variant.opts...)...)
+					if err != nil {
+						t.Fatalf("%s/%s/%s: %v", fc.name, algo, variant.name, err)
+					}
+					if scalar.Rounds != res.Rounds || scalar.TotalBeeps != res.TotalBeeps {
+						t.Fatalf("%s/%s/%s seed %d: rounds %d vs %d, beeps %d vs %d",
+							fc.name, algo, variant.name, seed, scalar.Rounds, res.Rounds, scalar.TotalBeeps, res.TotalBeeps)
+					}
+					for v := range scalar.InMIS {
+						if scalar.InMIS[v] != res.InMIS[v] {
+							t.Fatalf("%s/%s/%s seed %d: InMIS differs at vertex %d", fc.name, algo, variant.name, seed, v)
+						}
+					}
+					if scalar.Robustness.StableRound != res.Robustness.StableRound ||
+						scalar.Robustness.IndependenceViolations != res.Robustness.IndependenceViolations ||
+						len(scalar.Robustness.Uncovered) != len(res.Robustness.Uncovered) {
+						t.Fatalf("%s/%s/%s seed %d: robustness reports differ: %+v vs %+v",
+							fc.name, algo, variant.name, seed, scalar.Robustness, res.Robustness)
+					}
+					for i, v := range scalar.Robustness.Uncovered {
+						if res.Robustness.Uncovered[i] != v {
+							t.Fatalf("%s/%s/%s seed %d: uncovered sets differ: %v vs %v",
+								fc.name, algo, variant.name, seed, scalar.Robustness.Uncovered, res.Robustness.Uncovered)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestShardsConflicts pins the explicit rejections of WithShards
 // combinations that have no sharded propagation to configure.
 func TestShardsConflicts(t *testing.T) {

@@ -50,6 +50,21 @@ type BulkProbabilityReporter interface {
 	BeepProbabilities(dst []float64)
 }
 
+// BulkResetter is optionally implemented by bulk automata whose nodes
+// can be returned to their freshly-constructed state. The fault layer's
+// transient-crash schedules with reset semantics require it: a reset
+// recovery rebuilds the per-node automaton in the scalar engines, and
+// the columnar engines must mirror that by restoring the node's packed
+// state to exactly what the factory would have initialised — so a reset
+// node behaves bit-identically across engines from its first
+// post-recovery draw.
+type BulkResetter interface {
+	// ResetNodes restores each listed node's state to its initial
+	// value, as if the bulk factory had just constructed it. Other
+	// nodes must be untouched; no randomness may be drawn.
+	ResetNodes(nodes []int)
+}
+
 // BulkFactory builds the bulk automaton covering all of a network's
 // nodes. A nil BulkFactory means the algorithm has no columnar kernel
 // and engines must fall back to per-node automata.

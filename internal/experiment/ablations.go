@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/mis"
 	"beepmis/internal/rng"
@@ -193,6 +194,103 @@ func runAblateLoss(cfg Config) (*Result, error) {
 	}
 	res.Series = append(res.Series, roundsSeries, violSeries)
 	res.Notes = append(res.Notes, "loss on the first exchange only; join announcements reliable (see DESIGN.md)")
+	return res, nil
+}
+
+// runAblateNoise is the fault-layer counterpart of runAblateLoss: loss
+// is drawn per (listener, round) through internal/fault's noisy channel
+// rather than per edge, which every engine executes — so the sweep runs
+// word-parallel (columnar/sparse under EngineAuto) instead of being
+// pinned to the scalar walk. The workload is a bounded-degree G(n, 8/n)
+// — the wireless/biological regime the paper's robustness narrative is
+// about; per-listener noise erases a listener's whole aggregate signal,
+// so on dense graphs even tiny loss rates shatter independence (the
+// expected breach count scales like m·loss²), which is a property of
+// the channel model, not of the algorithm. Alongside mean rounds it
+// reports the p50/p95/p99 round tail, rounds-to-stable-MIS, the mean
+// per-trial breach count observed by fault.Verifier *during* the run,
+// and the fraction of trials that stay clean throughout — the
+// robustness table of EXPERIMENTS.md.
+func runAblateNoise(cfg Config) (*Result, error) {
+	n := 300
+	if cfg.MaxN > 0 && cfg.MaxN < n {
+		n = cfg.MaxN
+	}
+	losses := []float64{0, 0.01, 0.02, 0.05, 0.1}
+	const spurious = 0.01
+	trials := cfg.trials(100)
+	master := rng.New(cfg.Seed)
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "ablate-noise",
+		Title:  fmt.Sprintf("feedback under per-listener channel noise on G(%d, 8/n), spurious=%v", n, spurious),
+		XLabel: "loss probability",
+		YLabel: "time steps / violations / clean %",
+	}
+	roundsSeries := Series{Name: "time steps"}
+	stableSeries := Series{Name: "rounds to stable MIS"}
+	violSeries := Series{Name: "violations per trial"}
+	cleanSeries := Series{Name: "clean trials (%)"}
+	for li, loss := range losses {
+		rounds := make([]float64, trials)
+		stable := make([]float64, trials)
+		breaches := make([]float64, trials)
+		clean := make([]bool, trials)
+		err := ForTrials(cfg.EffectiveWorkers(), trials, func(trial int) error {
+			g := graph.GNP(n, 8/float64(n), master.Stream(trialKey(li, trial, 1)))
+			opts := cfg.simOpts(bulk)
+			// The sweep owns the channel-noise axis; a user-supplied
+			// -faults model contributes its wake schedule and outages so
+			// the composition is measured rather than silently dropped.
+			spec := fault.Spec{Loss: loss, Spurious: spurious}
+			if base := cfg.Faults; base != nil {
+				spec.Wake = base.Wake
+				spec.Outages = base.Outages
+			}
+			opts.Faults = &spec
+			vf := fault.NewVerifier(g)
+			opts.OnMISDelta = vf.ObserveRound
+			r, err := sim.Run(g, factory, master.Stream(trialKey(li, trial, 2)), opts)
+			if err != nil && !errors.Is(err, sim.ErrTooManyRounds) {
+				return fmt.Errorf("loss %v: %w", loss, err)
+			}
+			rounds[trial] = float64(r.Rounds)
+			stable[trial] = float64(vf.LastChangeRound())
+			breaches[trial] = float64(vf.ViolationCount())
+			clean[trial] = vf.ViolationCount() == 0
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		roundsSeries.Points = append(roundsSeries.Points, Point{
+			X: loss, Mean: stats.Mean(rounds), Std: stats.StdDev(rounds), Trials: trials,
+		})
+		stableSeries.Points = append(stableSeries.Points, Point{
+			X: loss, Mean: stats.Mean(stable), Std: stats.StdDev(stable), Trials: trials,
+		})
+		violSeries.Points = append(violSeries.Points, Point{
+			X: loss, Mean: stats.Mean(breaches), Std: stats.StdDev(breaches), Trials: trials,
+		})
+		cleanSeries.Points = append(cleanSeries.Points, Point{
+			X: loss, Mean: 100 * float64(countTrue(clean)) / float64(trials), Trials: trials,
+		})
+		if tail, err := stats.Tails(rounds); err == nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("loss %v: rounds p50=%.0f p95=%.0f p99=%.0f", loss, tail.P50, tail.P95, tail.P99))
+		}
+	}
+	res.Series = append(res.Series, roundsSeries, stableSeries, violSeries, cleanSeries)
+	if cfg.Faults != nil && (cfg.Faults.Wake != nil || len(cfg.Faults.Outages) > 0) {
+		res.Notes = append(res.Notes, "composed with the -faults wake/outage schedule (the sweep owns the loss/spurious axis)")
+	}
+	res.Notes = append(res.Notes,
+		"per-listener noise (internal/fault): one draw per (listener, round) from its own stream — runs on every engine",
+		"violations counted per round by fault.Verifier, not just at termination",
+		"expected breaches grow like m·loss²: robustness is a property of (graph degree, loss rate), not of the schedule")
 	return res, nil
 }
 

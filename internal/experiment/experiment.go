@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"beepmis/internal/beep"
+	"beepmis/internal/fault"
 	"beepmis/internal/plot"
 	"beepmis/internal/sim"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	// the 2 GiB default. Purely a selection knob — results are
 	// bit-identical whichever engine the budget admits.
 	MemoryBudget int64
+	// Faults overlays every trial with a fault model (channel noise,
+	// adversarial wake-up, outages — see internal/fault). Unlike the
+	// knobs above this one changes results; it exists so misbench can
+	// quantify noise overhead and robustness on any experiment.
+	Faults *fault.Spec
 }
 
 // simOpts assembles the sim.Options shared by every trial of an
@@ -65,7 +71,7 @@ func (c Config) simOpts(bulk beep.BulkFactory) sim.Options {
 	if shards == 0 && c.EffectiveWorkers() > 1 {
 		shards = 1
 	}
-	return sim.Options{Engine: c.Engine, Bulk: bulk, Shards: shards, MemoryBudget: c.MemoryBudget}
+	return sim.Options{Engine: c.Engine, Bulk: bulk, Shards: shards, MemoryBudget: c.MemoryBudget, Faults: c.Faults}
 }
 
 // Point is one x position of a series.

@@ -12,8 +12,8 @@ var quickCfg = Config{Seed: 7, Trials: 2, MaxN: 150}
 func TestIDsComplete(t *testing.T) {
 	want := []string{
 		"ablate-factor", "ablate-floor", "ablate-init", "ablate-jitter",
-		"ablate-loss", "bits", "families", "fig3", "fig5", "luby",
-		"thm1", "thm6", "wakeup",
+		"ablate-loss", "ablate-noise", "bits", "families", "fig3", "fig5",
+		"luby", "thm1", "thm6", "wakeup",
 	}
 	got := IDs()
 	if len(got) != len(want) {

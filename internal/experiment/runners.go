@@ -21,6 +21,7 @@ var (
 	_ = register("ablate-factor", "Robustness (§6): feedback update factor swept away from 2", runAblateFactor)
 	_ = register("ablate-init", "Robustness (§6): non-default and per-node-random initial probabilities", runAblateInit)
 	_ = register("ablate-loss", "Robustness beyond paper: beep loss — rounds and independence violations", runAblateLoss)
+	_ = register("ablate-noise", "Robustness beyond paper: per-listener channel noise (fault layer, all engines) — rounds, tail percentiles, violations", runAblateNoise)
 	_ = register("ablate-floor", "Design ablation: probability floor on the clique family", runAblateFloor)
 )
 

@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+// Stream-id namespaces of the fault layer, far outside the per-node
+// stream ids [0, n) (n ≤ 2²⁰ everywhere in this repository) and the
+// legacy per-edge loss stream (1<<40), so enabling faults never
+// perturbs node randomness. Channel noise packs (node, round) into the
+// low bits of its namespace: node ids fit 21 bits, and rounds — bounded
+// in practice by sim.DefaultMaxRounds = 2²⁰ — fit the remaining 41.
+const (
+	// channelNamespace tags per-(node, round) channel-noise streams.
+	channelNamespace = uint64(1) << 62
+	// WakeStreamID is the dedicated stream the uniform wake schedule
+	// draws from, in node order, once, before the round loop starts.
+	WakeStreamID = uint64(1) << 61
+	// MaxChannelNodes is the largest graph channel noise supports: the
+	// node id's 21-bit field in channelStreamID. Validate enforces it —
+	// beyond this, distinct (node, round) pairs would silently collide.
+	// Twice the scenario layer's MaxNodes, so every admissible scenario
+	// is noisy-capable.
+	MaxChannelNodes = 1 << 21
+)
+
+// channelStreamID derives the stream id of one (node, round) noise
+// draw.
+func channelStreamID(node, round int) uint64 {
+	return channelNamespace | uint64(round)<<21 | uint64(node)
+}
+
+// Channel applies a Spec's per-listener noise to the heard bit of the
+// first exchange: a listener that would hear a beep loses it with
+// probability Loss, and one that would hear silence hears a phantom
+// beep with probability Spurious.
+//
+// Exactly one uniform is drawn per (listener, round), from that pair's
+// own stream derived off the run's master seed — never from a shared
+// sequential source — so the outcome is independent of the order
+// listeners are visited in, of the engine, and of the shard count. The
+// struct only caches the probabilities and a scratch stream; it is not
+// safe for concurrent use (engines apply noise on the round-loop
+// goroutine, after the sharded propagation pass has joined).
+type Channel struct {
+	loss, spurious float64
+	scratch        rng.Source
+}
+
+// NewChannel returns the channel-noise applier of spec, or nil when the
+// spec carries no channel noise — callers gate on nil exactly like the
+// trace hook.
+func NewChannel(spec *Spec) *Channel {
+	if !spec.Channelled() {
+		return nil
+	}
+	return &Channel{loss: spec.Loss, spurious: spec.Spurious}
+}
+
+// Hears maps one listener's raw heard bit through the noisy channel for
+// the given round, drawing from the (node, round) stream of master.
+func (c *Channel) Hears(master *rng.Source, round, node int, raw bool) bool {
+	master.StreamInto(&c.scratch, channelStreamID(node, round))
+	u := c.scratch.Float64()
+	if raw {
+		return u >= c.loss
+	}
+	return u < c.spurious
+}
+
+// Apply rewrites heard in place for every listener in eligible — the
+// bitset form the columnar and sparse engines use. Bits outside
+// eligible are left untouched (the round loop never reads them).
+func (c *Channel) Apply(master *rng.Source, round int, eligible, heard graph.Bitset) {
+	eligible.ForEach(func(v int) {
+		if c.Hears(master, round, v, heard.Test(v)) {
+			heard.Set(v)
+		} else {
+			heard.Clear(v)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzFaultSpec asserts the fault-spec parser/validator's total-input
+// contract, mirroring the scenario layer's FuzzParse: arbitrary bytes
+// either parse into a spec that Validate accepts for some plausible
+// graph size — with every probability finite and in [0, 1), every wake
+// round and outage interval in range — or return an error; never a
+// panic, and never an accepted spec that re-validates differently. CLI
+// -faults flags and scenario faults blocks feed untrusted bytes
+// straight into this path.
+func FuzzFaultSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"loss":0.05,"spurious":0.01}`,
+		`{"loss":-0.5}`,
+		`{"loss":1}`,
+		`{"loss":1e999}`,
+		`{"spurious":2}`,
+		`{"wake":{"kind":"uniform","window":8}}`,
+		`{"wake":{"kind":"degree","window":0}}`,
+		`{"wake":{"kind":"explicit","at":{"3":[0,1],"5":[2]}}}`,
+		`{"wake":{"kind":"explicit","at":{"0":[7]}}}`,
+		`{"wake":{"kind":"explicit","at":{"-2":[1]}}}`,
+		`{"wake":{"kind":"banana","window":3}}`,
+		`{"outages":[{"node":3,"from":2,"for":4,"reset":true}]}`,
+		`{"outages":[{"node":3,"from":2,"for":0}]}`,
+		`{"outages":[{"node":3,"from":2,"for":4},{"node":3,"from":5,"for":1}]}`,
+		`{"outages":[{"node":-1,"from":1,"for":1}]}`,
+		`{"loss":0.1,"wake":{"kind":"uniform","window":4},"outages":[{"node":0,"from":3,"for":2}]}`,
+		`{`,
+		`null`,
+		`[]`,
+		`{"wake":null,"outages":null}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), uint16(64))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint16) {
+		n := int(nRaw)%4096 + 1
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(n); err != nil {
+			return
+		}
+		// An accepted spec must carry only sane values…
+		if !(spec.Loss >= 0 && spec.Loss < 1) || !(spec.Spurious >= 0 && spec.Spurious < 1) {
+			t.Fatalf("accepted probabilities loss=%v spurious=%v", spec.Loss, spec.Spurious)
+		}
+		if math.IsNaN(spec.Loss) || math.IsNaN(spec.Spurious) {
+			t.Fatal("accepted NaN probability")
+		}
+		if spec.Wake != nil && spec.Wake.Kind == WakeExplicit {
+			for round, nodes := range spec.Wake.At {
+				if round < 1 {
+					t.Fatalf("accepted wake round %d", round)
+				}
+				for _, v := range nodes {
+					if v < 0 || v >= n {
+						t.Fatalf("accepted wake node %d for n=%d", v, n)
+					}
+				}
+			}
+		}
+		for _, o := range spec.Outages {
+			if o.Node < 0 || o.Node >= n || o.From < 1 || o.For < 1 {
+				t.Fatalf("accepted outage %+v for n=%d", o, n)
+			}
+		}
+		// …validate deterministically…
+		if err := spec.Validate(n); err != nil {
+			t.Fatalf("second Validate failed: %v", err)
+		}
+		// …and normalise into a spec that still validates and is
+		// canonical-stable under a JSON round trip.
+		norm := spec.Normalized()
+		if err := norm.Validate(n); err != nil {
+			t.Fatalf("normalised spec fails validation: %v", err)
+		}
+		if norm != nil {
+			b1, err := json.Marshal(norm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var round Spec
+			if err := json.Unmarshal(b1, &round); err != nil {
+				t.Fatal(err)
+			}
+			b2, err := json.Marshal(round.Normalized())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Fatalf("normalised form not a JSON fixed point:\n%s\n%s", b1, b2)
+			}
+		}
+	})
+}

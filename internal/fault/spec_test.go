@@ -1,0 +1,287 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"beepmis/internal/graph"
+	"beepmis/internal/rng"
+)
+
+func TestSpecValidate(t *testing.T) {
+	const n = 50
+	tests := []struct {
+		name    string
+		spec    *Spec
+		wantErr string // empty means valid
+	}{
+		{"nil", nil, ""},
+		{"zero", &Spec{}, ""},
+		{"channel", &Spec{Loss: 0.05, Spurious: 0.01}, ""},
+		{"loss negative", &Spec{Loss: -0.1}, "loss"},
+		{"loss one", &Spec{Loss: 1}, "loss"},
+		{"loss nan", &Spec{Loss: math.NaN()}, "loss"},
+		{"spurious over", &Spec{Spurious: 1.5}, "spurious"},
+		{"spurious nan", &Spec{Spurious: math.NaN()}, "spurious"},
+		{"uniform wake", &Spec{Wake: &Wake{Kind: WakeUniform, Window: 8}}, ""},
+		{"degree wake", &Spec{Wake: &Wake{Kind: WakeDegree, Window: 4}}, ""},
+		{"uniform no window", &Spec{Wake: &Wake{Kind: WakeUniform}}, "window"},
+		{"degree zero window", &Spec{Wake: &Wake{Kind: WakeDegree, Window: 0}}, "window"},
+		{"unknown kind", &Spec{Wake: &Wake{Kind: "lunar", Window: 3}}, "unknown wake schedule"},
+		{"uniform with at", &Spec{Wake: &Wake{Kind: WakeUniform, Window: 3, At: map[int][]int{2: {1}}}}, `"at"`},
+		{"explicit", &Spec{Wake: &Wake{Kind: WakeExplicit, At: map[int][]int{3: {0, 1}, 5: {2}}}}, ""},
+		{"explicit empty", &Spec{Wake: &Wake{Kind: WakeExplicit}}, "no rounds"},
+		{"explicit with window", &Spec{Wake: &Wake{Kind: WakeExplicit, Window: 2, At: map[int][]int{2: {0}}}}, `"window"`},
+		{"explicit round zero", &Spec{Wake: &Wake{Kind: WakeExplicit, At: map[int][]int{0: {7}}}}, "wake round 0"},
+		{"explicit node range", &Spec{Wake: &Wake{Kind: WakeExplicit, At: map[int][]int{2: {n}}}}, "outside [0, 50)"},
+		{"explicit dup node", &Spec{Wake: &Wake{Kind: WakeExplicit, At: map[int][]int{2: {7}, 4: {7}}}}, "wake twice"},
+		{"outage", &Spec{Outages: []Outage{{Node: 3, From: 2, For: 4}}}, ""},
+		{"outage reset", &Spec{Outages: []Outage{{Node: 3, From: 2, For: 4, Reset: true}}}, ""},
+		{"outage node range", &Spec{Outages: []Outage{{Node: -1, From: 2, For: 1}}}, "node -1"},
+		{"outage round zero", &Spec{Outages: []Outage{{Node: 3, From: 0, For: 1}}}, "round 0"},
+		{"outage zero duration", &Spec{Outages: []Outage{{Node: 3, From: 2, For: 0}}}, "duration"},
+		{"outage overlap", &Spec{Outages: []Outage{{Node: 3, From: 2, For: 4}, {Node: 3, From: 5, For: 2}}}, "overlapping"},
+		{"outage disjoint ok", &Spec{Outages: []Outage{{Node: 3, From: 2, For: 3}, {Node: 3, From: 5, For: 2}}}, ""},
+	}
+	for _, tc := range tests {
+		err := tc.spec.Validate(n)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateAgainstRounds(t *testing.T) {
+	s := &Spec{Outages: []Outage{{Node: 3, From: 50, For: 5, Reset: true}}}
+	if err := s.ValidateAgainstRounds(55); err != nil {
+		t.Fatalf("outage recovering exactly at the cap rejected: %v", err)
+	}
+	err := s.ValidateAgainstRounds(54)
+	if err == nil || !strings.Contains(err.Error(), "node 3") || !strings.Contains(err.Error(), "round 55") {
+		t.Fatalf("outage past the cap: got %v, want error naming node 3 and round 55", err)
+	}
+	var nilSpec *Spec
+	if err := nilSpec.ValidateAgainstRounds(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateAgainstCrashes(t *testing.T) {
+	s := &Spec{Outages: []Outage{{Node: 7, From: 3, For: 2}}}
+	if err := s.ValidateAgainstCrashes(map[int][]int{2: {1, 2}}); err != nil {
+		t.Fatalf("disjoint nodes rejected: %v", err)
+	}
+	err := s.ValidateAgainstCrashes(map[int][]int{4: {7}})
+	if err == nil || !strings.Contains(err.Error(), "node 7") {
+		t.Fatalf("crash/outage overlap: got %v, want error naming node 7", err)
+	}
+}
+
+func TestSpecNormalized(t *testing.T) {
+	if (&Spec{}).Normalized() != nil {
+		t.Fatal("zero spec should normalise to nil")
+	}
+	var nilSpec *Spec
+	if nilSpec.Normalized() != nil {
+		t.Fatal("nil spec should normalise to nil")
+	}
+	a := &Spec{
+		Loss:    0.1,
+		Wake:    &Wake{Kind: WakeExplicit, At: map[int][]int{2: {5, 1, 3}}},
+		Outages: []Outage{{Node: 9, From: 4, For: 1}, {Node: 2, From: 1, For: 2}, {Node: 2, From: 8, For: 1}},
+	}
+	b := &Spec{
+		Loss:    0.1,
+		Wake:    &Wake{Kind: WakeExplicit, At: map[int][]int{2: {1, 3, 5}}},
+		Outages: []Outage{{Node: 2, From: 8, For: 1}, {Node: 2, From: 1, For: 2}, {Node: 9, From: 4, For: 1}},
+	}
+	na, nb := a.Normalized(), b.Normalized()
+	if na.Outages[0] != (Outage{Node: 2, From: 1, For: 2}) || na.Outages[2] != (Outage{Node: 9, From: 4, For: 1}) {
+		t.Fatalf("outages not sorted: %+v", na.Outages)
+	}
+	if len(na.Wake.At[2]) != 3 || na.Wake.At[2][0] != 1 || na.Wake.At[2][2] != 5 {
+		t.Fatalf("wake nodes not sorted: %v", na.Wake.At[2])
+	}
+	for i := range na.Outages {
+		if na.Outages[i] != nb.Outages[i] {
+			t.Fatalf("equivalent specs normalise differently: %+v vs %+v", na.Outages, nb.Outages)
+		}
+	}
+	// Normalisation must not mutate the input.
+	if a.Outages[0].Node != 9 {
+		t.Fatal("Normalized mutated its receiver")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"loss":0.05,"spurious":0.01,"wake":{"kind":"uniform","window":12}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Loss != 0.05 || s.Spurious != 0.01 || s.Wake.Window != 12 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if _, err := ParseSpec([]byte(`{"banana":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"loss":0.1}{"loss":0.2}`)); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+}
+
+// TestChannelDeterminism pins the per-(node, round) stream contract:
+// the same (master seed, node, round, raw) quadruple yields the same
+// outcome regardless of visit order or interleaving with other draws.
+func TestChannelDeterminism(t *testing.T) {
+	spec := &Spec{Loss: 0.3, Spurious: 0.2}
+	c1, c2 := NewChannel(spec), NewChannel(spec)
+	m1, m2 := rng.New(42), rng.New(42)
+	type key struct {
+		round, node int
+		raw         bool
+	}
+	got := make(map[key]bool)
+	for round := 1; round <= 20; round++ {
+		for node := 0; node < 30; node++ {
+			got[key{round, node, true}] = c1.Hears(m1, round, node, true)
+		}
+	}
+	// Reverse order, interleaved raw values: identical answers.
+	for round := 20; round >= 1; round-- {
+		for node := 29; node >= 0; node-- {
+			c2.Hears(m2, round, node, false) // extra draw must not matter
+			if want := got[key{round, node, true}]; c2.Hears(m2, round, node, true) != want {
+				t.Fatalf("draw for (round %d, node %d) depends on visit order", round, node)
+			}
+		}
+	}
+}
+
+// TestChannelApplyMatchesHears pins the bitset form against the scalar
+// form over random masks.
+func TestChannelApplyMatchesHears(t *testing.T) {
+	const n = 200
+	spec := &Spec{Loss: 0.4, Spurious: 0.3}
+	src := rng.New(7)
+	eligible, heard := graph.NewBitset(n), graph.NewBitset(n)
+	for v := 0; v < n; v++ {
+		if src.Bernoulli(0.7) {
+			eligible.Set(v)
+		}
+		if src.Bernoulli(0.5) {
+			heard.Set(v)
+		}
+	}
+	raw := append(graph.Bitset(nil), heard...)
+	master := rng.New(99)
+	bulk := NewChannel(spec)
+	bulk.Apply(master, 3, eligible, heard)
+	scalar := NewChannel(spec)
+	for v := 0; v < n; v++ {
+		if !eligible.Test(v) {
+			if heard.Test(v) != raw.Test(v) {
+				t.Fatalf("Apply touched ineligible node %d", v)
+			}
+			continue
+		}
+		if want := scalar.Hears(master, 3, v, raw.Test(v)); heard.Test(v) != want {
+			t.Fatalf("node %d: Apply %v, Hears %v", v, heard.Test(v), want)
+		}
+	}
+}
+
+// TestChannelRates sanity-checks the loss and spurious probabilities
+// empirically over many (node, round) streams.
+func TestChannelRates(t *testing.T) {
+	spec := &Spec{Loss: 0.25, Spurious: 0.1}
+	c := NewChannel(spec)
+	master := rng.New(5)
+	lost, phantom, trials := 0, 0, 0
+	for round := 1; round <= 200; round++ {
+		for node := 0; node < 200; node++ {
+			trials++
+			if !c.Hears(master, round, node, true) {
+				lost++
+			}
+			if c.Hears(master, round, node, false) {
+				phantom++
+			}
+		}
+	}
+	if rate := float64(lost) / float64(trials); math.Abs(rate-0.25) > 0.01 {
+		t.Errorf("loss rate %.4f, want ≈0.25", rate)
+	}
+	if rate := float64(phantom) / float64(trials); math.Abs(rate-0.1) > 0.01 {
+		t.Errorf("spurious rate %.4f, want ≈0.1", rate)
+	}
+}
+
+func TestResolveWakeUniform(t *testing.T) {
+	g := graph.Path(100)
+	w := &Wake{Kind: WakeUniform, Window: 10}
+	a := ResolveWake(w, g, rng.New(3))
+	b := ResolveWake(w, g, rng.New(3))
+	other := ResolveWake(w, g, rng.New(4))
+	differs := false
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("uniform wake not deterministic at node %d", v)
+		}
+		if a[v] < 1 || a[v] > 10 {
+			t.Fatalf("node %d wakes at %d outside [1, 10]", v, a[v])
+		}
+		differs = differs || a[v] != other[v]
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical uniform schedules")
+	}
+}
+
+func TestResolveWakeDegree(t *testing.T) {
+	// Star: hub has degree n-1, leaves degree 1 — the hub must wake last.
+	g := graph.Star(20)
+	wake := ResolveWake(&Wake{Kind: WakeDegree, Window: 8}, g, rng.New(1))
+	if wake[0] != 8 {
+		t.Fatalf("hub wakes at %d, want the window end 8", wake[0])
+	}
+	for v := 1; v < g.N(); v++ {
+		if wake[v] > wake[0] {
+			t.Fatalf("leaf %d wakes after the hub", v)
+		}
+		if wake[v] < 1 || wake[v] > 8 {
+			t.Fatalf("leaf %d wakes at %d outside [1, 8]", v, wake[v])
+		}
+	}
+	// Deterministic: no randomness consumed at all.
+	again := ResolveWake(&Wake{Kind: WakeDegree, Window: 8}, g, rng.New(777))
+	for v := range wake {
+		if wake[v] != again[v] {
+			t.Fatal("degree schedule depends on the seed")
+		}
+	}
+}
+
+func TestResolveWakeExplicit(t *testing.T) {
+	g := graph.Path(6)
+	wake := ResolveWake(&Wake{Kind: WakeExplicit, At: map[int][]int{4: {2, 3}, 9: {5}}}, g, rng.New(1))
+	want := []int{1, 1, 4, 4, 1, 9}
+	for v := range want {
+		if wake[v] != want[v] {
+			t.Fatalf("wake = %v, want %v", wake, want)
+		}
+	}
+}
+
+func TestResolveWakeSingleNode(t *testing.T) {
+	g := graph.Empty(1)
+	if wake := ResolveWake(&Wake{Kind: WakeDegree, Window: 5}, g, rng.New(1)); wake[0] != 1 {
+		t.Fatalf("single node wakes at %d, want 1", wake[0])
+	}
+}

@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"beepmis/internal/graph"
+)
+
+func pathVerifier(n int) *Verifier { return NewVerifier(graph.Path(n)) }
+
+func TestVerifierCleanRun(t *testing.T) {
+	// Path 0-1-2-3-4: {0, 2, 4} is a maximal independent set.
+	vf := pathVerifier(5)
+	vf.ObserveRound(1, []int{0, 4}, nil)
+	vf.ObserveRound(2, nil, nil)
+	vf.ObserveRound(3, []int{2}, nil)
+	if vf.ViolationCount() != 0 {
+		t.Fatalf("clean run reported %d violations: %v", vf.ViolationCount(), vf.Violations())
+	}
+	if vf.LastChangeRound() != 3 {
+		t.Fatalf("LastChangeRound = %d, want 3", vf.LastChangeRound())
+	}
+	if vf.Rounds() != 3 {
+		t.Fatalf("Rounds = %d, want 3", vf.Rounds())
+	}
+	if got := vf.Uncovered(nil); len(got) != 0 {
+		t.Fatalf("uncovered = %v, want none", got)
+	}
+	if err := vf.Check(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifierAdjacentJoinAcrossRounds(t *testing.T) {
+	vf := pathVerifier(4)
+	vf.ObserveRound(1, []int{1}, nil)
+	vf.ObserveRound(2, []int{2}, nil) // adjacent to the round-1 member
+	if vf.ViolationCount() != 1 {
+		t.Fatalf("violations = %d, want 1", vf.ViolationCount())
+	}
+	v := vf.Violations()[0]
+	if v.Round != 2 || v.Node != 2 || v.Neighbor != 1 {
+		t.Fatalf("witness = %+v, want round 2 node 2 neighbour 1", v)
+	}
+	if err := vf.Check(nil); err == nil || !strings.Contains(err.Error(), "independence") {
+		t.Fatalf("Check = %v, want independence error", err)
+	}
+}
+
+func TestVerifierSameRoundPairCountedOnce(t *testing.T) {
+	vf := pathVerifier(3)
+	vf.ObserveRound(1, []int{0, 1}, nil)
+	if vf.ViolationCount() != 1 {
+		t.Fatalf("same-round adjacent pair counted %d times, want 1", vf.ViolationCount())
+	}
+}
+
+func TestVerifierResetLeavesHole(t *testing.T) {
+	// 0-1-2: node 1 joins (dominating 0 and 2), then a reset removes it.
+	vf := pathVerifier(3)
+	vf.ObserveRound(1, []int{1}, nil)
+	vf.ObserveRound(5, nil, []int{1})
+	if vf.ViolationCount() != 0 {
+		t.Fatal("a departure is not an independence breach")
+	}
+	if vf.LastChangeRound() != 5 {
+		t.Fatalf("LastChangeRound = %d, want 5", vf.LastChangeRound())
+	}
+	uncovered := vf.Uncovered(nil)
+	if len(uncovered) != 3 {
+		t.Fatalf("uncovered = %v, want all three nodes", uncovered)
+	}
+	if err := vf.Check(nil); err == nil || !strings.Contains(err.Error(), "not maximal") {
+		t.Fatalf("Check = %v, want maximality error", err)
+	}
+	// A rejoin repairs the hole.
+	vf.ObserveRound(7, []int{1}, nil)
+	if err := vf.Check(nil); err != nil {
+		t.Fatalf("after rejoin: %v", err)
+	}
+}
+
+func TestVerifierExemptCrashed(t *testing.T) {
+	// Path 0-1-2-3: {1} dominates 0 and 2; 3 is crashed and exempt.
+	vf := pathVerifier(4)
+	vf.ObserveRound(1, []int{1}, nil)
+	if got := vf.Uncovered(nil); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("uncovered = %v, want [3]", got)
+	}
+	exempt := graph.NewBitset(4)
+	exempt.Set(3)
+	if got := vf.Uncovered(exempt); len(got) != 0 {
+		t.Fatalf("uncovered with exemption = %v, want none", got)
+	}
+	if err := vf.Check(exempt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifierViolationCap(t *testing.T) {
+	// Complete graph: every joiner after the first breaches against all
+	// earlier members; the recorded witnesses stay capped while the
+	// count keeps the truth.
+	g := graph.Complete(40)
+	vf := NewVerifier(g)
+	all := make([]int, g.N())
+	for v := range all {
+		all[v] = v
+	}
+	vf.ObserveRound(1, all, nil)
+	want := g.N() * (g.N() - 1) / 2 // every pair, counted once
+	if vf.ViolationCount() != want {
+		t.Fatalf("count = %d, want %d", vf.ViolationCount(), want)
+	}
+	if len(vf.Violations()) != maxRecordedViolations {
+		t.Fatalf("recorded %d witnesses, want cap %d", len(vf.Violations()), maxRecordedViolations)
+	}
+}

@@ -20,12 +20,14 @@ import (
 // feedbackBulk is feedbackNode over packed probabilities: Table 1's
 // halve/double rule applied 64 nodes per observed word.
 type feedbackBulk struct {
-	p   []float64
-	cfg FeedbackConfig
+	p     []float64
+	start float64 // initial probability, restored by ResetNodes
+	cfg   FeedbackConfig
 }
 
 var _ beep.BulkAutomaton = (*feedbackBulk)(nil)
 var _ beep.BulkProbabilityReporter = (*feedbackBulk)(nil)
+var _ beep.BulkResetter = (*feedbackBulk)(nil)
 
 // NewFeedbackBulk returns the columnar kernel of the feedback algorithm
 // configured like NewFeedback(cfg). The two are interchangeable beyond
@@ -41,12 +43,18 @@ func NewFeedbackBulk(cfg FeedbackConfig) (beep.BulkFactory, error) {
 		start = cfg.MaxP
 	}
 	return func(net beep.NetworkInfo) beep.BulkAutomaton {
-		k := &feedbackBulk{p: make([]float64, net.N), cfg: cfg}
+		k := &feedbackBulk{p: make([]float64, net.N), start: start, cfg: cfg}
 		for v := range k.p {
 			k.p[v] = start
 		}
 		return k
 	}, nil
+}
+
+func (k *feedbackBulk) ResetNodes(nodes []int) {
+	for _, v := range nodes {
+		k.p[v] = k.start
+	}
 }
 
 func (k *feedbackBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph.Bitset) {
@@ -99,6 +107,7 @@ type sweepBulk struct {
 
 var _ beep.BulkAutomaton = (*sweepBulk)(nil)
 var _ beep.BulkProbabilityReporter = (*sweepBulk)(nil)
+var _ beep.BulkResetter = (*sweepBulk)(nil)
 
 // NewGlobalSweepBulk returns the columnar kernel of the DISC'11 sweeping
 // schedule, interchangeable with NewGlobalSweep.
@@ -136,6 +145,13 @@ func (k *sweepBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out grap
 
 func (k *sweepBulk) ObserveAll(observed, beeped, heard graph.Bitset) {} // global schedule: feedback unused
 
+func (k *sweepBulk) ResetNodes(nodes []int) {
+	for _, v := range nodes {
+		k.phase[v] = 1
+		k.step[v] = 0
+	}
+}
+
 func (k *sweepBulk) BeepProbabilities(dst []float64) {
 	for v := range dst {
 		dst[v] = math.Ldexp(1, -int(k.step[v]))
@@ -147,10 +163,12 @@ type afekBulk struct {
 	p       []float64
 	counter []int32
 	perLvl  int32
+	initial float64 // starting probability 1/(D+1), restored by ResetNodes
 }
 
 var _ beep.BulkAutomaton = (*afekBulk)(nil)
 var _ beep.BulkProbabilityReporter = (*afekBulk)(nil)
+var _ beep.BulkResetter = (*afekBulk)(nil)
 
 // NewAfekOriginalBulk returns the columnar kernel of the Science'11
 // schedule, interchangeable with NewAfekOriginal.
@@ -171,9 +189,10 @@ func NewAfekOriginalBulk(cfg AfekOriginalConfig) beep.BulkFactory {
 			p:       make([]float64, net.N),
 			counter: make([]int32, net.N),
 			perLvl:  int32(perLvl),
+			initial: 1 / float64(d+1),
 		}
 		for v := range k.p {
-			k.p[v] = 1 / float64(d+1)
+			k.p[v] = k.initial
 		}
 		return k
 	}
@@ -205,5 +224,12 @@ func (k *afekBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph
 }
 
 func (k *afekBulk) ObserveAll(observed, beeped, heard graph.Bitset) {} // global schedule: feedback unused
+
+func (k *afekBulk) ResetNodes(nodes []int) {
+	for _, v := range nodes {
+		k.p[v] = k.initial
+		k.counter[v] = 0
+	}
+}
 
 func (k *afekBulk) BeepProbabilities(dst []float64) { copy(dst, k.p) }

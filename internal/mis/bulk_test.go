@@ -202,6 +202,76 @@ func TestBulkKernelsOnGraphs(t *testing.T) {
 	}
 }
 
+// TestBulkKernelsResetMatchFreshAutomata pins the beep.BulkResetter
+// contract every kernel implements for the fault layer's reset
+// recoveries: after driving the kernel for a while and resetting a
+// subset of nodes, those nodes must behave exactly like freshly
+// constructed per-node automata — same draws, same probabilities —
+// while untouched nodes keep their advanced state.
+func TestBulkKernelsResetMatchFreshAutomata(t *testing.T) {
+	const n = 130
+	for _, spec := range bulkSpecs() {
+		factory, bulkFactory, err := NewFactories(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		degrees := make([]int, n)
+		maskSrc := rng.New(99)
+		maxDeg := 0
+		for v := range degrees {
+			degrees[v] = maskSrc.Intn(n)
+			if degrees[v] > maxDeg {
+				maxDeg = degrees[v]
+			}
+		}
+		kernel := bulkFactory(beep.NetworkInfo{N: n, Degrees: degrees, MaxDegree: maxDeg})
+		resetter, ok := kernel.(beep.BulkResetter)
+		if !ok {
+			t.Fatalf("%s kernel does not implement beep.BulkResetter", spec.Name)
+		}
+		streams := make([]*rng.Source, n)
+		for v := range streams {
+			streams[v] = rng.New(5).Stream(uint64(v))
+		}
+		// Advance every node's state for several rounds.
+		active := graph.NewBitset(n)
+		active.Fill(n)
+		beeped := graph.NewBitset(n)
+		heard := graph.NewBitset(n)
+		for round := 0; round < 10; round++ {
+			beeped.Zero()
+			kernel.BeepAll(active, streams, beeped)
+			heard.Zero()
+			for v := 0; v < n; v++ {
+				if maskSrc.Intn(2) == 1 {
+					heard.Set(v)
+				}
+			}
+			kernel.ObserveAll(active, beeped, heard)
+		}
+		before := make([]float64, n)
+		kernel.(beep.BulkProbabilityReporter).BeepProbabilities(before)
+
+		resetNodes := []int{0, 63, 64, 100}
+		resetter.ResetNodes(resetNodes)
+		after := make([]float64, n)
+		kernel.(beep.BulkProbabilityReporter).BeepProbabilities(after)
+		isReset := make(map[int]bool, len(resetNodes))
+		for _, v := range resetNodes {
+			isReset[v] = true
+			fresh := factory(beep.NodeInfo{ID: v, N: n, Degree: degrees[v], MaxDegree: maxDeg})
+			if want := fresh.(beep.ProbabilityReporter).BeepProbability(); after[v] != want {
+				t.Fatalf("%s: reset node %d reports p=%v, fresh automaton %v", spec.Name, v, after[v], want)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !isReset[v] && after[v] != before[v] {
+				t.Fatalf("%s: ResetNodes touched unlisted node %d (p %v → %v)", spec.Name, v, before[v], after[v])
+			}
+		}
+	}
+}
+
 // FuzzBulkFeedbackKernel fuzzes the feedback kernel against its per-node
 // automaton over fuzzer-chosen configurations, sizes, and seeds.
 func FuzzBulkFeedbackKernel(f *testing.F) {

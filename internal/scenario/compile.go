@@ -339,6 +339,19 @@ func (s *Spec) Compile() (*Compiled, error) {
 	if n.WakeWindow < 0 {
 		return nil, fmt.Errorf("scenario: wake_window %d negative (0 = all nodes start awake)", n.WakeWindow)
 	}
+	if n.Faults != nil && n.Faults.Wake != nil && n.WakeWindow > 0 {
+		return nil, fmt.Errorf("scenario: wake_window %d conflicts with the faults block's wake schedule (pick one)", n.WakeWindow)
+	}
+	// Outages must fit the round budget: a recovery past the cap would
+	// be silently truncated, which is exactly the skipped-perturbation
+	// failure mode the fault layer exists to rule out.
+	maxRounds := n.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+	if err := n.Faults.ValidateAgainstRounds(maxRounds); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
 	engine, err := validateEngine(n.Engine, n.BeepLoss, n.Shards)
 	if err != nil {
 		return nil, err
@@ -452,6 +465,15 @@ func (s *Spec) Compile() (*Compiled, error) {
 					return nil, err
 				}
 				if err := sim.ValidateCrashes(nodes, n.CrashAtRound); err != nil {
+					return nil, fmt.Errorf("scenario: %w", err)
+				}
+				// Fault specs are validated per unit: wake/outage node
+				// ids must be in range for every instance of a sweep,
+				// and outages may not contradict the crash schedule.
+				if err := n.Faults.Validate(nodes); err != nil {
+					return nil, fmt.Errorf("scenario: %w", err)
+				}
+				if err := n.Faults.ValidateAgainstCrashes(n.CrashAtRound); err != nil {
 					return nil, fmt.Errorf("scenario: %w", err)
 				}
 				c.Units = append(c.Units, &Unit{

@@ -27,6 +27,11 @@ func FuzzParse(f *testing.F) {
 		[]byte(`[]`),
 		[]byte(`{"graph":null,"algorithm":null}`),
 		[]byte(`{"graph":{"family":"randomregular","n":10,"d":3},"algorithm":"fixed","fixed_p":-1}`),
+		[]byte(`{"graph":{"family":"gnp","n":20,"p":0.5},"algorithm":"feedback","faults":{"loss":0.05,"spurious":0.01}}`),
+		[]byte(`{"graph":{"family":"gnp","n":20,"p":0.5},"algorithm":"feedback","faults":{"wake":{"kind":"uniform","window":8}}}`),
+		[]byte(`{"graph":{"family":"gnp","n":20,"p":0.5},"algorithm":"feedback","faults":{"outages":[{"node":3,"from":2,"for":4,"reset":true}]}}`),
+		[]byte(`{"graph":{"family":"gnp","n":20,"p":0.5},"algorithm":"feedback","faults":{"loss":-1}}`),
+		[]byte(`{"graph":{"family":"gnp","n":20,"p":0.5},"algorithm":"feedback","wake_window":3,"faults":{"wake":{"kind":"degree","window":2}}}`),
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -8,7 +8,9 @@ import (
 	"io"
 	"math"
 
+	"beepmis/internal/beep"
 	"beepmis/internal/experiment"
+	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/rng"
 	"beepmis/internal/sim"
@@ -115,11 +117,31 @@ type UnitReport struct {
 	Rounds    Agg     `json:"rounds"`
 	Beeps     Agg     `json:"beeps_per_node"`
 	SetSize   Agg     `json:"set_size"`
+	// RoundsTail is the p50/p95/p99 of the per-trial round counts — the
+	// distribution tail the robustness experiments report, where the
+	// mean hides straggler trials.
+	RoundsTail stats.Tail `json:"rounds_percentiles"`
+	// StableRounds aggregates rounds-to-stable-MIS per trial: the last
+	// round the membership changed, as observed by fault.Verifier. Under
+	// faults this is the honest convergence metric — a set can look
+	// finished, be perturbed by a reset, and be repaired later; the
+	// plain Rounds number cannot tell.
+	StableRounds Agg `json:"stable_rounds"`
 	// TrialRounds is the per-trial round count, in trial order — the
 	// raw series clients fit distributions to.
 	TrialRounds []int `json:"trial_rounds"`
 	// Verified reports that every trial's output passed graph.VerifyMIS.
 	Verified bool `json:"verified"`
+	// IndependentEveryRound reports that fault.Verifier observed no
+	// independence breach in any round of any trial — stronger than
+	// Verified, which only inspects the terminal state.
+	IndependentEveryRound bool `json:"independent_every_round"`
+	// IndependenceViolations totals the breaches across all trials.
+	IndependenceViolations int `json:"independence_violations"`
+	// MaximalAtTermination reports that every trial ended with every
+	// non-member dominated, exempting permanently crashed nodes (which
+	// graph.VerifyMIS cannot do — a crashed node needs no coverage).
+	MaximalAtTermination bool `json:"maximal_at_termination"`
 }
 
 // Report is a completed scenario run. Its JSON serialisation is a pure
@@ -204,12 +226,15 @@ func Run(ctx context.Context, c *Compiled, opts RunOptions) (*Report, error) {
 // trialResult is one trial's slot; aggregation reads the slots in
 // trial order after the pool drains.
 type trialResult struct {
-	rounds   int
-	beeps    float64
-	setSize  int
-	edges    int
-	maxDeg   int
-	verified bool
+	rounds     int
+	stable     int
+	violations int
+	maximal    bool
+	beeps      float64
+	setSize    int
+	edges      int
+	maxDeg     int
+	verified   bool
 }
 
 func runUnit(ctx context.Context, u *Unit, engine sim.Engine, master *rng.Source, cfg experiment.Config, emit func(Event)) (*UnitReport, error) {
@@ -227,6 +252,7 @@ func runUnit(ctx context.Context, u *Unit, engine sim.Engine, master *rng.Source
 		Bulk:      u.bulk,
 		Shards:    spec.Shards,
 		BeepLoss:  spec.BeepLoss,
+		Faults:    spec.Faults,
 	}
 	// A parallel trial pool claims the cores, so an unset shard bound
 	// collapses to serial propagation — but only when there really are
@@ -285,6 +311,11 @@ func runUnit(ctx context.Context, u *Unit, engine sim.Engine, master *rng.Source
 				})
 			}
 		}
+		// Every trial runs under an incremental safety checker: O(Σ deg
+		// of the joining frontier) per round, so noisy runs are judged
+		// by what held throughout, not just by their terminal state.
+		verifier := fault.NewVerifier(g)
+		opts.OnMISDelta = verifier.ObserveRound
 		res, err := sim.Run(g, u.factory, master.Stream(trialKey(u.Index, trial, slotRun)), opts)
 		if err != nil {
 			return fmt.Errorf("scenario: unit %d (algorithm %s, n=%d) trial %d: %w", u.Index, u.Algorithm, u.N, trial, err)
@@ -295,13 +326,27 @@ func runUnit(ctx context.Context, u *Unit, engine sim.Engine, master *rng.Source
 				setSize++
 			}
 		}
+		// Maximality exempts permanently crashed nodes — they neither
+		// join nor need dominating, which plain VerifyMIS cannot know.
+		var exempt graph.Bitset
+		if len(spec.CrashAtRound) > 0 {
+			exempt = graph.NewBitset(g.N())
+			for v, st := range res.States {
+				if st == beep.StateCrashed {
+					exempt.Set(v)
+				}
+			}
+		}
 		slots[trial] = trialResult{
-			rounds:   res.Rounds,
-			beeps:    res.MeanBeepsPerNode(),
-			setSize:  setSize,
-			edges:    g.M(),
-			maxDeg:   g.MaxDegree(),
-			verified: graph.VerifyMIS(g, res.InMIS) == nil,
+			rounds:     res.Rounds,
+			stable:     verifier.LastChangeRound(),
+			violations: verifier.ViolationCount(),
+			maximal:    len(verifier.Uncovered(exempt)) == 0,
+			beeps:      res.MeanBeepsPerNode(),
+			setSize:    setSize,
+			edges:      g.M(),
+			maxDeg:     g.MaxDegree(),
+			verified:   graph.VerifyMIS(g, res.InMIS) == nil,
 		}
 		if emit != nil {
 			emit(Event{
@@ -316,31 +361,40 @@ func runUnit(ctx context.Context, u *Unit, engine sim.Engine, master *rng.Source
 	}
 
 	ur := &UnitReport{
-		Unit:        u.Index,
-		Algorithm:   u.Algorithm,
-		N:           u.N,
-		P:           u.P,
-		Nodes:       u.Nodes,
-		Trials:      trials,
-		TrialRounds: make([]int, trials),
-		Verified:    true,
+		Unit:                  u.Index,
+		Algorithm:             u.Algorithm,
+		N:                     u.N,
+		P:                     u.P,
+		Nodes:                 u.Nodes,
+		Trials:                trials,
+		TrialRounds:           make([]int, trials),
+		Verified:              true,
+		IndependentEveryRound: true,
+		MaximalAtTermination:  true,
 	}
 	rounds := make([]float64, trials)
+	stable := make([]float64, trials)
 	beeps := make([]float64, trials)
 	sizes := make([]float64, trials)
 	var edges, maxDeg float64
 	for i, s := range slots {
 		ur.TrialRounds[i] = s.rounds
 		rounds[i] = float64(s.rounds)
+		stable[i] = float64(s.stable)
 		beeps[i] = s.beeps
 		sizes[i] = float64(s.setSize)
 		edges += float64(s.edges)
 		maxDeg += float64(s.maxDeg)
 		ur.Verified = ur.Verified && s.verified
+		ur.IndependenceViolations += s.violations
+		ur.IndependentEveryRound = ur.IndependentEveryRound && s.violations == 0
+		ur.MaximalAtTermination = ur.MaximalAtTermination && s.maximal
 	}
 	ur.Edges = edges / float64(trials)
 	ur.MaxDegree = maxDeg / float64(trials)
 	ur.Rounds = aggregate(rounds)
+	ur.RoundsTail, _ = stats.Tails(rounds) // trials ≥ 1, never empty
+	ur.StableRounds = aggregate(stable)
 	ur.Beeps = aggregate(beeps)
 	ur.SetSize = aggregate(sizes)
 	return ur, nil

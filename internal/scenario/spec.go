@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"beepmis/internal/fault"
 	"beepmis/internal/sim"
 )
 
@@ -160,8 +161,16 @@ type Spec struct {
 	CrashAtRound map[int][]int `json:"crash_at_round,omitempty"`
 	// WakeWindow staggers node wake-up: each node wakes at a round drawn
 	// uniformly from [1, WakeWindow] from its trial's wake stream. 0
-	// disables wake-up scheduling (all nodes start awake).
+	// disables wake-up scheduling (all nodes start awake). Mutually
+	// exclusive with a wake schedule inside Faults.
 	WakeWindow int `json:"wake_window,omitempty"`
+	// Faults declares the run's fault model: per-listener channel noise
+	// (loss/spurious), adversarial wake-up schedules, and transient
+	// outages with resume-or-reset recovery (see internal/fault).
+	// Unlike BeepLoss, every fault feature runs on every engine with
+	// bit-identical results, so it composes with sparse million-node
+	// workloads. Changes results, so it is part of the content hash.
+	Faults *fault.Spec `json:"faults,omitempty"`
 	// Sweep expands the spec into a grid of units.
 	Sweep *SweepSpec `json:"sweep,omitempty"`
 }
@@ -305,6 +314,10 @@ func (s *Spec) Normalized() *Spec {
 			n.CrashAtRound[round] = sorted
 		}
 	}
+	// Fault specs canonicalise the same way (sorted wake lists and
+	// outages); an all-zero faults block folds to nil so "no faults"
+	// spelled either way hashes identically.
+	n.Faults = s.Faults.Normalized()
 	return &n
 }
 
@@ -323,6 +336,7 @@ type canonicalSpec struct {
 	BeepLoss          float64       `json:"beep_loss,omitempty"`
 	CrashAtRound      map[int][]int `json:"crash_at_round,omitempty"`
 	WakeWindow        int           `json:"wake_window,omitempty"`
+	Faults            *fault.Spec   `json:"faults,omitempty"`
 	Sweep             *SweepSpec    `json:"sweep,omitempty"`
 }
 
@@ -345,6 +359,7 @@ func (s *Spec) Canonical() ([]byte, error) {
 		BeepLoss:          n.BeepLoss,
 		CrashAtRound:      n.CrashAtRound,
 		WakeWindow:        n.WakeWindow,
+		Faults:            n.Faults,
 		Sweep:             n.Sweep,
 	}
 	b, err := json.Marshal(c)

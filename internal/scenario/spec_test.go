@@ -58,6 +58,20 @@ func TestParseRejectsMalformed(t *testing.T) {
 		{"stray n on grid", `{"graph":{"family":"grid","rows":3,"cols":3,"n":9},"algorithm":"feedback"}`, "not used by family"},
 		{"seed on deterministic family", `{"graph":{"family":"hypercube","d":4,"seed":7},"algorithm":"feedback"}`, "deterministic family"},
 		{"regular odd product", `{"graph":{"family":"randomregular","n":5,"d":3},"algorithm":"feedback"}`, "even"},
+		{"faults unknown field", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"lossy":0.1}}`, "lossy"},
+		{"faults loss range", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"loss":1.5}}`, "loss"},
+		{"faults spurious range", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"spurious":-0.1}}`, "spurious"},
+		{"faults wake kind", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"wake":{"kind":"sunrise","window":3}}}`, "wake schedule"},
+		{"faults wake window", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"wake":{"kind":"uniform"}}}`, "window"},
+		{"faults wake node range", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"wake":{"kind":"explicit","at":{"2":[10]}}}}`, "outside"},
+		{"faults wake round zero", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"wake":{"kind":"explicit","at":{"0":[1]}}}}`, "1-based"},
+		{"faults outage node range", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"outages":[{"node":10,"from":1,"for":2}]}}`, "outside"},
+		{"faults outage duration", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"outages":[{"node":3,"from":1,"for":0}]}}`, "duration"},
+		{"faults outage overlap", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","faults":{"outages":[{"node":3,"from":1,"for":4},{"node":3,"from":2,"for":1}]}}`, "overlapping"},
+		{"faults wake vs wake_window", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","wake_window":4,"faults":{"wake":{"kind":"uniform","window":3}}}`, "pick one"},
+		{"faults outage vs crash", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","crash_at_round":{"2":[3]},"faults":{"outages":[{"node":3,"from":4,"for":1}]}}`, "node 3"},
+		{"faults sweep node range", `{"graph":{"family":"gnp","p":0.5},"algorithm":"feedback","sweep":{"n":[64,8]},"faults":{"outages":[{"node":20,"from":1,"for":2}]}}`, "outside"},
+		{"faults outage past round cap", `{"graph":{"family":"gnp","n":10,"p":0.5},"algorithm":"feedback","max_rounds":40,"faults":{"outages":[{"node":3,"from":50,"for":5,"reset":true}]}}`, "round cap"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -69,6 +83,84 @@ func TestParseRejectsMalformed(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestFaultsInContentHash pins the faults block's hash behaviour: it
+// changes results so it must change the hash; listing-order-only
+// permutations must not; and an all-zero block must hash like no block
+// at all.
+func TestFaultsInContentHash(t *testing.T) {
+	base := `{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback"}`
+	noisy := `{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","faults":{"loss":0.05}}`
+	hash := func(doc string) string {
+		t.Helper()
+		h, err := mustParse(t, doc).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if hash(base) == hash(noisy) {
+		t.Fatal("faults block did not change the content hash")
+	}
+	if hash(base) != hash(`{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","faults":{}}`) {
+		t.Fatal("empty faults block split the cache against no faults block")
+	}
+	a := `{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","faults":{"outages":[{"node":9,"from":4,"for":1},{"node":2,"from":1,"for":2}],"wake":{"kind":"explicit","at":{"3":[5,1]}}}}`
+	b := `{"graph":{"family":"gnp","n":50,"p":0.5},"algorithm":"feedback","faults":{"wake":{"kind":"explicit","at":{"3":[1,5]}},"outages":[{"node":2,"from":1,"for":2},{"node":9,"from":4,"for":1}]}}`
+	if hash(a) != hash(b) {
+		t.Fatal("listing-order permutation of one fault model hashed apart")
+	}
+	if hash(a) == hash(noisy) {
+		t.Fatal("different fault models hashed together")
+	}
+}
+
+// TestFaultsScenarioRuns executes a faulted scenario end to end on the
+// compiled path and checks the verifier-backed report fields.
+func TestFaultsScenarioRuns(t *testing.T) {
+	doc := `{
+		"graph": {"family": "gnp", "n": 80, "p": 0.2},
+		"algorithm": "feedback",
+		"trials": 3,
+		"seed": 5,
+		"faults": {"spurious": 0.05, "wake": {"kind": "degree", "window": 6}}
+	}`
+	c, err := ParseCompiledBytes([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(context.Background(), c, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := report.Units[0]
+	if !u.Verified || !u.IndependentEveryRound || !u.MaximalAtTermination {
+		t.Fatalf("spurious-only run must verify clean: %+v", u)
+	}
+	if u.IndependenceViolations != 0 {
+		t.Fatalf("violations = %d, want 0", u.IndependenceViolations)
+	}
+	if u.StableRounds.Max == 0 || u.StableRounds.Max > u.Rounds.Max {
+		t.Fatalf("stable rounds %+v implausible against rounds %+v", u.StableRounds, u.Rounds)
+	}
+	if u.RoundsTail.P50 == 0 || u.RoundsTail.P99 < u.RoundsTail.P50 {
+		t.Fatalf("rounds percentiles %+v implausible", u.RoundsTail)
+	}
+	// The report is a pure function of the spec whatever the engine.
+	c2, err := ParseCompiledBytes([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report2, err := Run(context.Background(), c2, RunOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := report.JSON()
+	b2, _ := report2.JSON()
+	if string(b1) != string(b2) {
+		t.Fatal("faulted report bytes differ across worker counts")
 	}
 }
 

@@ -23,7 +23,7 @@ import (
 // scans and n interface calls — and it is bit-identical to them: the
 // kernel draws from the same per-node streams in node order, and every
 // mask update mirrors a scalar-loop transition.
-func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int, prop bulkPropagator, bulkFactory beep.BulkFactory) (*Result, error) {
+func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int, prop bulkPropagator, bulkFactory beep.BulkFactory, plan *faultPlan) (*Result, error) {
 	n := g.N()
 	degrees := make([]int, n)
 	// Per-node streams live in one contiguous backing array: at 10⁶
@@ -37,6 +37,17 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 		streams[v] = &streamStore[v]
 	}
 	bulk := bulkFactory(beep.NetworkInfo{N: n, Degrees: degrees, MaxDegree: g.MaxDegree()})
+	var resetter beep.BulkResetter
+	if plan != nil && plan.hasResets {
+		var ok bool
+		if resetter, ok = bulk.(beep.BulkResetter); !ok {
+			// Every in-tree kernel (and the per-node adapter) implements
+			// BulkResetter; a third-party kernel that does not cannot run
+			// reset recoveries bit-identically, so refuse rather than
+			// silently diverge from the scalar engines.
+			return nil, fmt.Errorf("sim: fault spec schedules reset outages but the bulk kernel (%T) does not implement beep.BulkResetter (use a per-node engine)", bulk)
+		}
+	}
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -78,7 +89,6 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 	var wakeAt map[int][]int
 	if wake != nil {
 		awake = graph.NewBitset(n)
-		eligibleScratch = graph.NewBitset(n)
 		wakeAt = make(map[int][]int)
 		for v, r := range wake {
 			if r <= 1 {
@@ -88,13 +98,27 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			}
 		}
 	}
+	// Transient-outage overlay: a down node neither beeps, hears, nor
+	// observes, whatever its lifecycle state. Persistent MIS behaviour
+	// (keep-alive beeps and re-announcements) applies under wake-up or
+	// outages — exactly as in the scalar loop.
+	var downB graph.Bitset
+	if plan.outages() {
+		downB = graph.NewBitset(n)
+	}
+	usePersist := wake != nil || downB != nil
+	if wake != nil || downB != nil {
+		eligibleScratch = graph.NewBitset(n)
+	}
+	// MIS-delta scratch for the OnMISDelta hook (and reset bookkeeping).
+	var joinedDelta, leftDelta []int
 
 	// Snapshot buffers, materialised only when a hook is installed.
 	var snapStates []beep.State
 	var snapBeeped []bool
 	var probs []float64
 
-	for round := 1; active > 0 && round <= maxRounds; round++ {
+	for round := 1; (active > 0 || plan.keepAlive(round)) && round <= maxRounds; round++ {
 		res.Rounds = round
 		// Crashes take effect before the exchange.
 		for _, v := range opts.CrashAtRound[round] {
@@ -104,15 +128,52 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 				active--
 			}
 		}
+		// Outage recoveries, then fresh downs — mirroring the scalar
+		// loop's order exactly (see its comments for the semantics).
+		leftDelta = leftDelta[:0]
+		if plan.outages() {
+			for _, v := range plan.resumeAt[round] {
+				downB.Clear(v)
+			}
+			resets := plan.resetAt[round]
+			for _, v := range resets {
+				downB.Clear(v)
+				if inMIS.Test(v) {
+					inMIS.Clear(v)
+					leftDelta = append(leftDelta, v)
+				}
+				// A reset node re-enters the competition from scratch;
+				// crashed is impossible here (crash/outage overlap is
+				// rejected up front), so any non-active node was in the
+				// MIS or dominated and becomes active again.
+				if !activeB.Test(v) {
+					activeB.Set(v)
+					active++
+				}
+			}
+			if len(resets) > 0 {
+				resetter.ResetNodes(resets)
+			}
+			for _, v := range plan.startAt[round] {
+				downB.Set(v)
+			}
+		}
 		// First exchange: the kernel draws beeps for every eligible
-		// (active and awake) node from that node's stream.
+		// (active, awake, and up) node from that node's stream.
 		eligible := activeB
-		if wake != nil {
-			for _, v := range wakeAt[round] {
-				awake.Set(v)
+		if wake != nil || downB != nil {
+			if wake != nil {
+				for _, v := range wakeAt[round] {
+					awake.Set(v)
+				}
 			}
 			copy(eligibleScratch, activeB)
-			eligibleScratch.And(awake)
+			if wake != nil {
+				eligibleScratch.And(awake)
+			}
+			if downB != nil {
+				eligibleScratch.AndNot(downB)
+			}
 			eligible = eligibleScratch
 		}
 		beeped.Zero()
@@ -127,26 +188,44 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			}
 		}
 		res.TotalBeeps += beepCount
-		// With wake-up scheduling, established MIS members keep beeping
-		// so late wakers can never perceive silence next to them.
+		// With wake-up scheduling or outages, established MIS members
+		// keep beeping so late arrivals can never perceive silence next
+		// to them — except while themselves down (down nodes never beep,
+		// so masking them out of the union touches only MIS members).
 		emitters := beeped
-		if wake != nil {
-			res.PersistentBeeps += inMIS.Count()
+		if usePersist {
+			pcount := inMIS.Count()
+			if downB != nil {
+				pcount -= inMIS.AndCount(downB)
+			}
+			res.PersistentBeeps += pcount
 			copy(emit, beeped)
 			emit.Or(inMIS)
+			if downB != nil {
+				emit.AndNot(downB)
+			}
 			emitters = emit
 		}
 		prop.PropagateToTargets(heard, eligible, emitters, shards)
+		// Channel noise: each eligible listener's heard bit passes
+		// through the lossy/spurious channel, drawn from that
+		// (node, round)'s own stream — identical on every engine.
+		if plan != nil && plan.channel != nil {
+			plan.channel.Apply(master, round, eligible, heard)
+		}
 		// Join rule: beeped into silence — one word operation.
 		copy(joined, beeped)
 		joined.AndNot(heard)
 		res.JoinAnnouncements += joined.AndCount(hasNeighbors)
 		// Second exchange: join announcements (reliable); persistent
-		// MIS members re-announce so nodes waking later get dominated.
+		// MIS members re-announce so nodes arriving later get dominated.
 		announcers := joined
-		if wake != nil {
+		if usePersist {
 			copy(emit, joined)
 			emit.Or(inMIS)
+			if downB != nil {
+				emit.AndNot(downB)
+			}
 			announcers = emit
 		}
 		prop.PropagateToTargets(neighborJoined, eligible, announcers, shards)
@@ -165,6 +244,13 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 		activeB.AndNot(newDom)
 		inMIS.Or(joined)
 		bulk.ObserveAll(observe, beeped, heard)
+		if opts.OnMISDelta != nil {
+			joinedDelta = joinedDelta[:0]
+			joined.ForEach(func(v int) { joinedDelta = append(joinedDelta, v) })
+			if len(joinedDelta) > 0 || len(leftDelta) > 0 {
+				opts.OnMISDelta(round, joinedDelta, leftDelta)
+			}
+		}
 		if opts.OnRound != nil {
 			if snapStates == nil {
 				snapStates = make([]beep.State, n)

@@ -26,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"beepmis/internal/beep"
+	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/rng"
 )
@@ -109,8 +111,26 @@ type Options struct {
 	// member must hear it, or it could beep into perceived silence and
 	// violate independence.
 	WakeAt []int
+	// Faults declares the run's deterministic fault model: per-listener
+	// channel noise (loss and spurious beeps), adversarial wake-up
+	// schedules (which resolve into WakeAt before the round loop; a
+	// spec wake and an explicit WakeAt together are an error), and
+	// transient outages with resume-or-reset recovery. Unlike the
+	// legacy per-edge BeepLoss, every fault feature is engine-agnostic:
+	// all randomness is drawn from dedicated per-(node, round) streams,
+	// so the four engines stay bit-identical under any spec and any
+	// shard count. Outages and persistent MIS behaviour compose: while
+	// any outage schedule is present, MIS members beep and re-announce
+	// persistently (as under wake-up), except while themselves down.
+	Faults *fault.Spec
 	// OnRound, if non-nil, is called after every time step.
 	OnRound func(Snapshot)
+	// OnMISDelta, if non-nil, is called after any time step in which
+	// MIS membership changed: joined lists the nodes that entered the
+	// set this round, left the nodes a reset recovery removed (both
+	// ascending). The slices are owned by the simulator and reused
+	// between rounds. fault.Verifier's ObserveRound plugs in directly.
+	OnMISDelta func(round int, joined, left []int)
 }
 
 // Result reports a completed (or round-capped) simulation.
@@ -191,6 +211,30 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	if err := ValidateCrashes(n, opts.CrashAtRound); err != nil {
 		return nil, err
 	}
+	fs := opts.Faults
+	if !fs.Enabled() {
+		fs = nil
+	}
+	if fs != nil {
+		if err := fs.Validate(n); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if err := fs.ValidateAgainstCrashes(opts.CrashAtRound); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if err := fs.ValidateAgainstRounds(maxRounds); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if fs.Wake != nil {
+			if opts.WakeAt != nil {
+				return nil, fmt.Errorf("sim: Faults.Wake conflicts with an explicit WakeAt schedule (pick one)")
+			}
+			// Resolve the declarative schedule into per-node rounds once,
+			// up front, so every engine executes the identical WakeAt.
+			opts.WakeAt = fault.ResolveWake(fs.Wake, g, master)
+		}
+	}
+	plan := newFaultPlan(fs)
 	if engine == EngineColumnar || engine == EngineSparse {
 		// Same packed round loop, two adjacency backends: dense matrix
 		// rows for the columnar engine, CSR edge arrays for the sparse
@@ -208,7 +252,7 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 		} else {
 			prop = g.Matrix()
 		}
-		return runColumnar(g, master, opts, maxRounds, prop, bulkFactory)
+		return runColumnar(g, master, opts, maxRounds, prop, bulkFactory, plan)
 	}
 	wake := opts.WakeAt
 	maxDeg := g.MaxDegree()
@@ -242,15 +286,28 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	if engine == EngineBitset {
 		prop = newBitsetPropagator(g)
 	}
+	// Persistent MIS beeping/re-announcing is needed whenever a node can
+	// arrive late to an established set: staggered wake-up, and outages
+	// (a node down during its neighbour's announcement misses the
+	// domination and must be able to catch up after recovering).
 	var persist, emit []bool
-	if wake != nil {
+	if wake != nil || plan.outages() {
 		persist = make([]bool, n)
 		emit = make([]bool, n) // scratch emitter mask: beeped/joined ∪ persist
 	}
+	// down overlays the lifecycle states with transient outages; a down
+	// node neither beeps, hears, nor observes, whatever its state.
+	var down []bool
+	if plan.outages() {
+		down = make([]bool, n)
+	}
 	awake := func(v, round int) bool { return wake == nil || round >= wake[v] }
+	up := func(v int) bool { return down == nil || !down[v] }
 	var probs []float64 // lazily allocated snapshot buffer
+	// MIS-delta scratch for the OnMISDelta hook (and reset bookkeeping).
+	var joinedDelta, leftDelta []int
 
-	for round := 1; active > 0 && round <= maxRounds; round++ {
+	for round := 1; (active > 0 || plan.keepAlive(round)) && round <= maxRounds; round++ {
 		res.Rounds = round
 		// Fault injection: crashes take effect before the exchange.
 		// (Entries are range- and duplicate-checked up front; a listed
@@ -261,10 +318,42 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 				active--
 			}
 		}
-		// First exchange: draw beeps (dormant nodes neither beep nor
-		// later observe).
+		// Outage recoveries, then fresh downs (in that order, so a
+		// back-to-back outage pair keeps the node down through the
+		// boundary round while still applying the recovery semantics).
+		leftDelta = leftDelta[:0]
+		if plan.outages() {
+			for _, v := range plan.resumeAt[round] {
+				down[v] = false
+			}
+			for _, v := range plan.resetAt[round] {
+				down[v] = false
+				// Reset recovery: the node comes back as a freshly
+				// started active competitor, whatever it was before. A
+				// departing MIS member is reported to the delta hook —
+				// its dominated neighbours stay dominated (they cannot
+				// know), which is exactly the transient maximality hole
+				// fault.Verifier measures.
+				switch res.States[v] {
+				case beep.StateInMIS:
+					res.States[v] = beep.StateActive
+					res.InMIS[v] = false
+					active++
+					leftDelta = append(leftDelta, v)
+				case beep.StateDominated:
+					res.States[v] = beep.StateActive
+					active++
+				}
+				autos[v] = factory(beep.NodeInfo{ID: v, N: n, Degree: g.Degree(v), MaxDegree: maxDeg})
+			}
+			for _, v := range plan.startAt[round] {
+				down[v] = true
+			}
+		}
+		// First exchange: draw beeps (dormant and down nodes neither
+		// beep nor later observe).
 		for v := 0; v < n; v++ {
-			beeped[v] = awake(v, round) && res.States[v] == beep.StateActive && autos[v].Beep(streams[v])
+			beeped[v] = awake(v, round) && up(v) && res.States[v] == beep.StateActive && autos[v].Beep(streams[v])
 			heard[v] = false
 			joined[v] = false
 			neighborJoined[v] = false
@@ -273,11 +362,12 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 				res.TotalBeeps++
 			}
 		}
-		// With wake-up scheduling, established MIS members keep beeping
-		// so late wakers can never perceive silence next to them.
+		// With wake-up scheduling or outages, established MIS members
+		// keep beeping so late arrivals can never perceive silence next
+		// to them — except while themselves down.
 		if persist != nil {
 			for v := 0; v < n; v++ {
-				persist[v] = res.States[v] == beep.StateInMIS
+				persist[v] = res.States[v] == beep.StateInMIS && up(v)
 				if persist[v] {
 					res.PersistentBeeps++
 				}
@@ -309,6 +399,16 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 		} else {
 			prop.propagate(emitters, heard)
 		}
+		// Channel noise: each eligible listener's heard bit passes
+		// through the lossy/spurious channel, drawn from that
+		// (node, round)'s own stream — identical on every engine.
+		if plan != nil && plan.channel != nil {
+			for v := 0; v < n; v++ {
+				if res.States[v] == beep.StateActive && awake(v, round) && up(v) {
+					heard[v] = plan.channel.Hears(master, round, v, heard[v])
+				}
+			}
+		}
 		// Join rule: beeped into (perceived) silence.
 		for v := 0; v < n; v++ {
 			if beeped[v] && !heard[v] {
@@ -330,9 +430,10 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 			announcers = emit
 		}
 		prop.propagate(announcers, neighborJoined)
-		// State transitions and feedback.
+		// State transitions and feedback (down nodes observe nothing and
+		// cannot be dominated — they did not hear the announcement).
 		for v := 0; v < n; v++ {
-			if res.States[v] != beep.StateActive || !awake(v, round) {
+			if res.States[v] != beep.StateActive || !awake(v, round) || !up(v) {
 				continue
 			}
 			switch {
@@ -349,6 +450,17 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 					Heard:          heard[v],
 					NeighborJoined: neighborJoined[v],
 				})
+			}
+		}
+		if opts.OnMISDelta != nil {
+			joinedDelta = joinedDelta[:0]
+			for v := 0; v < n; v++ {
+				if joined[v] {
+					joinedDelta = append(joinedDelta, v)
+				}
+			}
+			if len(joinedDelta) > 0 || len(leftDelta) > 0 {
+				opts.OnMISDelta(round, joinedDelta, leftDelta)
 			}
 		}
 		if opts.OnRound != nil {
@@ -382,16 +494,29 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 // nodes scheduled to crash more than once. Silently skipping such
 // entries (the historical behaviour) hid typos in fault-injection
 // experiments — a crash that never happens looks exactly like
-// robustness. Run calls it internally; it is exported so layers that
-// accept crash schedules from untrusted input (the scenario compiler)
-// can reject them at submission time rather than at execution time.
+// robustness. Every error names the offending node id and round, so the
+// experimenter can find the typo without diffing the schedule; rounds
+// are visited in ascending order, so the first problem reported is
+// deterministic whatever the map's iteration order. Run calls it
+// internally; it is exported so layers that accept crash schedules from
+// untrusted input (the scenario compiler) can reject them at submission
+// time rather than at execution time.
 func ValidateCrashes(n int, crashes map[int][]int) error {
 	if len(crashes) == 0 {
 		return nil
 	}
+	rounds := make([]int, 0, len(crashes))
+	for round := range crashes {
+		rounds = append(rounds, round)
+	}
+	sort.Ints(rounds)
 	crashRound := make(map[int]int, len(crashes))
-	for round, nodes := range crashes {
+	for _, round := range rounds {
+		nodes := crashes[round]
 		if round < 1 {
+			if len(nodes) > 0 {
+				return fmt.Errorf("sim: CrashAtRound round %d invalid for node %d (rounds are 1-based)", round, nodes[0])
+			}
 			return fmt.Errorf("sim: CrashAtRound round %d invalid (rounds are 1-based)", round)
 		}
 		for _, v := range nodes {
@@ -399,6 +524,9 @@ func ValidateCrashes(n int, crashes map[int][]int) error {
 				return fmt.Errorf("sim: CrashAtRound[%d] lists node %d outside [0, %d)", round, v, n)
 			}
 			if prev, dup := crashRound[v]; dup {
+				if prev == round {
+					return fmt.Errorf("sim: node %d listed twice in CrashAtRound[%d]", v, round)
+				}
 				return fmt.Errorf("sim: node %d scheduled to crash twice (rounds %d and %d)", v, min(prev, round), max(prev, round))
 			}
 			crashRound[v] = round

@@ -244,25 +244,42 @@ func TestRunCrashInjection(t *testing.T) {
 // malformed crash schedules. These used to be skipped silently, which
 // made fault-injection typos indistinguishable from robustness.
 func TestRunCrashScheduleValidation(t *testing.T) {
+	// Every message names the offending node id and round — the range
+	// case always did; the round-validity and duplicate cases used to
+	// leave out the node, making the typo hunt start from scratch.
 	for _, tc := range []struct {
 		name    string
 		crashes map[int][]int
-		wantErr string
+		wantErr []string // every substring must appear
 	}{
-		{"negative-node", map[int][]int{1: {-5}}, "outside [0, 2)"},
-		{"node-too-large", map[int][]int{1: {99}}, "outside [0, 2)"},
-		{"round-zero", map[int][]int{0: {1}}, "1-based"},
-		{"double-crash-same-round", map[int][]int{1: {0, 0}}, "crash twice"},
-		{"double-crash-across-rounds", map[int][]int{1: {0}, 3: {0}}, "crash twice"},
+		{"negative-node", map[int][]int{1: {-5}}, []string{"outside [0, 2)", "node -5", "[1]"}},
+		{"node-too-large", map[int][]int{1: {99}}, []string{"outside [0, 2)", "node 99", "[1]"}},
+		{"round-zero", map[int][]int{0: {1}}, []string{"1-based", "round 0", "node 1"}},
+		{"round-negative", map[int][]int{-3: {0}}, []string{"1-based", "round -3", "node 0"}},
+		{"double-crash-same-round", map[int][]int{1: {0, 0}}, []string{"node 0", "twice", "CrashAtRound[1]"}},
+		{"double-crash-across-rounds", map[int][]int{1: {0}, 3: {0}}, []string{"node 0", "crash twice", "rounds 1 and 3"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			_, err := Run(graph.Empty(2), feedbackFactory(t), rng.New(17), Options{
 				CrashAtRound: tc.crashes,
 			})
-			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
-				t.Fatalf("got err %v, want one containing %q", err, tc.wantErr)
+			if err == nil {
+				t.Fatalf("schedule %v accepted", tc.crashes)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("got err %q, want it to contain %q", err, want)
+				}
 			}
 		})
+	}
+	// The first reported problem is deterministic: rounds are visited
+	// ascending, so the round-2 typo wins over the round-7 one.
+	for i := 0; i < 5; i++ {
+		err := ValidateCrashes(10, map[int][]int{7: {-1}, 2: {55}})
+		if err == nil || !strings.Contains(err.Error(), "CrashAtRound[2]") {
+			t.Fatalf("iteration %d: first error not from the lowest round: %v", i, err)
+		}
 	}
 	// A valid schedule — including a node that terminates before its
 	// crash round, which is a legitimate no-op — still runs.

@@ -34,7 +34,9 @@ var (
 // exactly the per-node Outcome (an observed node never has a joining
 // neighbour — the engine owns the join rule).
 type perNodeBulk struct {
-	autos []beep.Automaton
+	autos   []beep.Automaton
+	factory beep.Factory
+	net     beep.NetworkInfo
 }
 
 // perNodeBulkFactory wraps a per-node factory as a bulk factory,
@@ -42,11 +44,23 @@ type perNodeBulk struct {
 // would pass.
 func perNodeBulkFactory(factory beep.Factory) beep.BulkFactory {
 	return func(net beep.NetworkInfo) beep.BulkAutomaton {
-		autos := make([]beep.Automaton, net.N)
-		for v := range autos {
-			autos[v] = factory(beep.NodeInfo{ID: v, N: net.N, Degree: net.Degrees[v], MaxDegree: net.MaxDegree})
+		b := &perNodeBulk{autos: make([]beep.Automaton, net.N), factory: factory, net: net}
+		for v := range b.autos {
+			b.autos[v] = b.build(v)
 		}
-		return &perNodeBulk{autos: autos}
+		return b
+	}
+}
+
+func (b *perNodeBulk) build(v int) beep.Automaton {
+	return b.factory(beep.NodeInfo{ID: v, N: b.net.N, Degree: b.net.Degrees[v], MaxDegree: b.net.MaxDegree})
+}
+
+// ResetNodes implements beep.BulkResetter by rebuilding each node's
+// automaton — exactly what the scalar loop does on a reset recovery.
+func (b *perNodeBulk) ResetNodes(nodes []int) {
+	for _, v := range nodes {
+		b.autos[v] = b.build(v)
 	}
 }
 

@@ -82,18 +82,53 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// quantileSorted interpolates the q-quantile of an already-sorted,
+// non-empty sample — the shared core of Quantile and Tails.
+func quantileSorted(sorted []float64, q float64) float64 {
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo], nil
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Median returns the 0.5-quantile.
 func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Tail bundles the convergence percentiles the robustness experiments
+// report: under faults the mean hides the straggler trials, and the
+// paper's O(log n) claim is about the distribution's tail as much as
+// its centre. Serialised into scenario reports, so field names are a
+// stable JSON surface.
+type Tail struct {
+	// P50, P95 and P99 are the 0.50/0.95/0.99 quantiles (linearly
+	// interpolated, like Quantile).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Tails computes the p50/p95/p99 percentiles of xs; it errors on an
+// empty sample.
+func Tails(xs []float64) (Tail, error) {
+	if len(xs) == 0 {
+		return Tail{}, ErrEmpty
+	}
+	// One sort for all three quantiles.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Tail{
+		P50: quantileSorted(sorted, 0.5),
+		P95: quantileSorted(sorted, 0.95),
+		P99: quantileSorted(sorted, 0.99),
+	}, nil
+}
 
 // Summary bundles the descriptive statistics of one sample.
 type Summary struct {

@@ -218,3 +218,43 @@ func TestSummaryProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTails(t *testing.T) {
+	if _, err := Tails(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	one, err := Tails([]float64{7})
+	if err != nil || one != (Tail{P50: 7, P95: 7, P99: 7}) {
+		t.Fatalf("single sample: %+v, %v", one, err)
+	}
+	// 1..100: quantiles interpolate over order statistics, matching
+	// Quantile exactly.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(100 - i) // reversed: Tails must sort
+	}
+	tail, err := Tails(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		q    float64
+		got  float64
+		name string
+	}{
+		{0.5, tail.P50, "p50"},
+		{0.95, tail.P95, "p95"},
+		{0.99, tail.P99, "p99"},
+	} {
+		want, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.got != want {
+			t.Errorf("%s = %v, want Quantile's %v", tc.name, tc.got, want)
+		}
+	}
+	if tail.P50 != 50.5 || tail.P99 <= tail.P95 || tail.P95 <= tail.P50 {
+		t.Errorf("implausible tails %+v", tail)
+	}
+}

@@ -38,6 +38,15 @@ go build -o "$bin" ./cmd/misbench
 # representation fits the memory budget — scalar and sparse here (the
 # dense matrix would need 125 GB).
 "$bin" -bench -json -benchn 1000000 -benchp 0.00001 -benchruns 1 >>"$tmp"
+# Noisy-channel overhead (PR 5): the same dense and large-sparse
+# workloads under per-listener loss=0.05 / spurious=0.01, so the fault
+# layer's per-(node, round) stream derivations are priced against the
+# clean baseline above. Records carry a "faults" field, so clean and
+# noisy rows of one file stay distinguishable. Note rounds change too —
+# noise alters the execution, so compare ns/round, not ns/run.
+noisy='{"loss":0.05,"spurious":0.01}'
+"$bin" -bench -json -benchn 20000 -benchp 0.5 -benchruns "$runs" -faults "$noisy" >>"$tmp"
+"$bin" -bench -json -benchn 1000000 -benchp 0.00001 -benchruns 1 -faults "$noisy" >>"$tmp"
 
 # Wrap the one-record-per-line stream into a single top-level JSON
 # array (records are single lines by construction).
