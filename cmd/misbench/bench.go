@@ -45,29 +45,30 @@ type benchRecord struct {
 	Timestamp  string      `json:"timestamp"` // ISO-8601 (RFC 3339), UTC
 }
 
-// runEngineBench times whole simulation runs of the feedback algorithm
-// on G(n, p) per engine. With engine == EngineAuto every *applicable*
-// engine is measured — the dense matrix pair only when the matrix fits
-// the memory budget, so a million-node bench compares exactly the
-// engines that could really run it (the sharded ones at the requested
-// shard bound); a pin measures just that engine. Results of all engines
-// are seed-identical — the benchmark varies only the wall clock, which
-// is the point.
-func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine sim.Engine, shards int, memBudget int64, faults *fault.Spec, asJSON bool) error {
+// collectEngineBench times whole simulation runs of the feedback
+// algorithm on G(n, p) per engine and returns one record per
+// measurement. With engine == EngineAuto every *applicable* engine is
+// measured — the dense matrix pair only when the matrix fits the
+// memory budget, so a million-node bench compares exactly the engines
+// that could really run it (the sharded ones at the requested shard
+// bound); a pin measures just that engine. Results of all engines are
+// seed-identical — the benchmark varies only the wall clock, which is
+// the point.
+func collectEngineBench(n int, p float64, runs int, seed uint64, engine sim.Engine, shards int, memBudget int64, faults *fault.Spec) ([]benchRecord, error) {
 	if n <= 0 || runs <= 0 {
-		return fmt.Errorf("bench needs positive -benchn and -benchruns (got %d, %d)", n, runs)
+		return nil, fmt.Errorf("bench needs positive -benchn and -benchruns (got %d, %d)", n, runs)
 	}
 	if p < 0 || p > 1 {
-		return fmt.Errorf("bench edge probability %v outside [0,1]", p)
+		return nil, fmt.Errorf("bench edge probability %v outside [0,1]", p)
 	}
 	faults = faults.Normalized()
 	if err := faults.Validate(n); err != nil {
-		return err
+		return nil, err
 	}
 	g := graph.GNP(n, p, rng.New(seed))
 	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	budget := memBudget
 	if budget <= 0 {
@@ -81,8 +82,8 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 	engines = append(engines, sim.EngineSparse)
 	if engine != sim.EngineAuto {
 		if (engine == sim.EngineBitset || engine == sim.EngineColumnar) && !matrixFits {
-			// Stderr, not w: with -json, w carries the machine-readable
-			// record stream and must stay parseable.
+			// Stderr, not the record stream: with -json, stdout carries the
+			// machine-readable records and must stay parseable.
 			fmt.Fprintf(os.Stderr, "misbench: warning: engine %v needs %d bytes of adjacency matrix (budget %d); proceeding because it was pinned\n",
 				engine, graph.MatrixBytes(n), budget)
 		}
@@ -101,13 +102,13 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 		}
 	}
 	// Records carry the shard count that actually applied: the resolved
-	// bound for the engines that shard propagation, 1 for the inherently
-	// serial ones — so trajectory records compare like for like.
-	effectiveShards := shards
-	if effectiveShards <= 0 {
-		effectiveShards = runtime.GOMAXPROCS(0)
-	}
-	enc := json.NewEncoder(w)
+	// bound (-shards 0 means one shard per core — sim.EffectiveShards is
+	// the single source of truth) for the engines that shard, 1 for the
+	// inherently serial ones — so trajectory records compare like for
+	// like, and the regression gate's (engine, n, p, shards, faults) key
+	// never aliases two different configurations.
+	effectiveShards := sim.EffectiveShards(shards)
+	records := make([]benchRecord, 0, len(engines))
 	for _, e := range engines {
 		opts := sim.Options{Engine: e, Shards: shards, MemoryBudget: memBudget, Faults: faults}
 		recShards := 1
@@ -120,7 +121,7 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 		for run := 0; run < runs; run++ {
 			res, err := sim.Run(g, factory, rng.New(seed+uint64(run)), opts)
 			if err != nil {
-				return fmt.Errorf("bench engine %v run %d: %w", e, run, err)
+				return nil, fmt.Errorf("bench engine %v run %d: %w", e, run, err)
 			}
 			rounds += float64(res.Rounds)
 			beeps += float64(res.TotalBeeps)
@@ -134,7 +135,7 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 		runtime.GC()
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
-		rec := benchRecord{
+		records = append(records, benchRecord{
 			Engine:     e.String(),
 			AutoEngine: autoEngine,
 			Shards:     recShards,
@@ -150,7 +151,17 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 			GoVersion:  runtime.Version(),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		}
+		})
+	}
+	return records, nil
+}
+
+// writeBenchRecords renders collected records to w: one JSON record per
+// line with asJSON (the across-PR trajectory format), a human-readable
+// line per engine otherwise.
+func writeBenchRecords(w io.Writer, records []benchRecord, asJSON bool) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range records {
 		if asJSON {
 			if err := enc.Encode(rec); err != nil {
 				return err
@@ -158,10 +169,10 @@ func runEngineBench(w io.Writer, n int, p float64, runs int, seed uint64, engine
 			continue
 		}
 		noisy := ""
-		if faults != nil {
+		if rec.Faults != nil {
 			// The full normalised spec, exactly as the JSON records stamp
 			// it — wake schedules and outages included, not just noise.
-			if b, err := json.Marshal(faults); err == nil {
+			if b, err := json.Marshal(rec.Faults); err == nil {
 				noisy = fmt.Sprintf(" [faults %s]", b)
 			}
 		}

@@ -28,6 +28,16 @@
 // representation fits -membudget are enumerated, and every record's
 // auto_engine field names the engine the auto heuristic would pick, so
 // a silent fallback is visible in the data.
+//
+// With -bench -compare BENCH_*.json the run becomes a regression gate:
+// each fresh record is matched to the committed baseline by its
+// (engine, n, p, shards, faults) key, a machine-readable diff is
+// printed, and any record whose ns_per_round exceeds the baseline's by
+// more than -tolerance fails the command (CI runs this; see
+// .github/workflows/ci.yml).
+//
+//	misbench -bench -benchn 2000 -benchp 0.1 -benchruns 3 -shards 1 \
+//	         -compare BENCH_pr6.json -tolerance 2.5
 package main
 
 import (
@@ -59,8 +69,8 @@ func run(args []string, stdout io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "master random seed")
 		format    = fs.String("format", "table", "output format: table, csv, json, or plot")
 		out       = fs.String("out", "", "write output to this file instead of stdout")
-		compare   = fs.String("compare", "", "compare the run against a baseline JSON file (written with -format json); non-empty drift fails")
-		tol       = fs.Float64("tolerance", 0.2, "relative drift tolerance for -compare")
+		compare   = fs.String("compare", "", "compare against a baseline JSON file: experiment results (written with -format json), or with -bench a BENCH_*.json record trajectory; drift/regression beyond -tolerance fails")
+		tol       = fs.Float64("tolerance", 0.2, "relative drift tolerance for -compare (with -bench: allowed ns_per_round slowdown per record)")
 		engine    = fs.String("engine", "auto", "simulation engine: auto, scalar, bitset, columnar, or sparse (results are seed-identical)")
 		workers   = fs.Int("workers", 0, "trial worker pool size (0 = all cores; results are identical for any value)")
 		shards    = fs.Int("shards", 0, "columnar/sparse-engine propagation goroutines (0 = all cores, 1 = serial; results are identical for any value)")
@@ -109,7 +119,17 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 	if *bench {
-		return runEngineBench(w, *benchN, *benchP, *benchR, *seed, eng, *shards, *memBudget, faults, *asJSON)
+		records, err := collectEngineBench(*benchN, *benchP, *benchR, *seed, eng, *shards, *memBudget, faults)
+		if err != nil {
+			return err
+		}
+		if *compare != "" {
+			// Record-level regression gate: the same -compare flag that
+			// diffs experiment results diffs bench trajectories when
+			// -bench is on. Always emit the machine diff before failing.
+			return runBenchCompare(w, records, *compare, *tol)
+		}
+		return writeBenchRecords(w, records, *asJSON)
 	}
 	if *list {
 		for _, id := range experiment.IDs() {

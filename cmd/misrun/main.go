@@ -54,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 		algos     = fs.Bool("algos", false, "list algorithms and exit")
 		seed      = fs.Uint64("seed", 1, "random seed (graph generation and run)")
 		engine    = fs.String("engine", "sim", "execution engine: sim (auto-selected simulator), concurrent, or a simulator engine pin (scalar, bitset, columnar, sparse)")
+		shards    = fs.Int("shards", 0, "worker shards for the columnar/sparse round phases (0 = GOMAXPROCS; output is identical for any value)")
 		showSet   = fs.Bool("show-set", false, "print the selected vertex set")
 		maxRounds = fs.Int("max-rounds", 0, "cap on synchronous rounds (0 = default)")
 		faultsDoc = fs.String("faults", "", `fault-model JSON (e.g. '{"loss":0.05,"spurious":0.01,"wake":{"kind":"uniform","window":12}}'): channel noise, wake schedules, outages`)
@@ -95,6 +96,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := []beepmis.Option{beepmis.WithSeed(*seed + 1), beepmis.WithMaxRounds(*maxRounds)}
+	if *shards != 0 {
+		opts = append(opts, beepmis.WithShards(*shards))
+	}
 	var breakable bool
 	if *faultsDoc != "" {
 		spec, err := fault.ParseSpec([]byte(*faultsDoc))

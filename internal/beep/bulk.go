@@ -41,6 +41,34 @@ type BulkAutomaton interface {
 	ObserveAll(observed, beeped, heard graph.Bitset)
 }
 
+// BulkRanger is optionally implemented by bulk automata whose draw and
+// observe sweeps can be restricted to a word range of the node-id
+// space: BeepRange and ObserveRange are BeepAll and ObserveAll limited
+// to the nodes packed in mask words [loWord, hiWord). The simulator's
+// round loop uses it to shard the eligible-draw and observe phases
+// across cores: per-node state and per-node rng streams make every
+// node's draw independent of every other node's, so disjoint word
+// ranges processed concurrently produce bit-identical results to one
+// serial sweep — the same argument that makes destination-sharded
+// propagation deterministic.
+//
+// The contract mirrors BulkAutomaton's: within its range a call visits
+// nodes in increasing id order, draws node v's randomness only from
+// streams[v], touches only node v's packed state, and writes only the
+// out/observed words inside [loWord, hiWord). Nodes outside the range
+// must not be read, drawn for, or updated. A kernel whose per-node
+// updates share mutable state across nodes cannot satisfy this and
+// must not implement the interface; the round loop then falls back to
+// the serial BeepAll/ObserveAll path.
+type BulkRanger interface {
+	// BeepRange is BeepAll restricted to the nodes in active's words
+	// [loWord, hiWord).
+	BeepRange(active graph.Bitset, streams []*rng.Source, out graph.Bitset, loWord, hiWord int)
+	// ObserveRange is ObserveAll restricted to the nodes in observed's
+	// words [loWord, hiWord).
+	ObserveRange(observed, beeped, heard graph.Bitset, loWord, hiWord int)
+}
+
 // BulkProbabilityReporter is optionally implemented by bulk automata that
 // expose their current beep probabilities; the tracer uses it to populate
 // Snapshot.Probabilities exactly like the per-node ProbabilityReporter.

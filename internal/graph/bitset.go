@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"math/bits"
-	"sync"
-)
+import "math/bits"
 
 // Bitset is a fixed-capacity set of small non-negative integers packed
 // 64 per word, the substrate of the word-parallel simulation engine: one
@@ -113,7 +110,18 @@ func (b Bitset) AndCount(other Bitset) int {
 // cost is proportional to the capacity in words plus the population, not
 // the capacity in bits.
 func (b Bitset) ForEach(fn func(i int)) {
-	for wi, w := range b {
+	b.ForEachRange(0, len(b), fn)
+}
+
+// ForEachRange calls fn for every element packed in words
+// [loWord, hiWord), in increasing order — the range form of ForEach
+// that node-range-sharded sweeps (the columnar engine's eligible-draw
+// phase) iterate their own partition with. hiWord is clamped to the
+// capacity.
+func (b Bitset) ForEachRange(loWord, hiWord int, fn func(i int)) {
+	hiWord = min(hiWord, len(b))
+	for wi := loWord; wi < hiWord; wi++ {
+		w := b[wi]
 		base := wi << 6
 		for w != 0 {
 			fn(base + bits.TrailingZeros64(w))
@@ -238,36 +246,37 @@ const propagateMinWords = 1 << 15
 // shards <= 1 path); sharding changes only the wall clock. Small
 // workloads run inline regardless of shards.
 func (m *AdjacencyMatrix) PropagateInto(dst, emitters Bitset, shards int) {
-	if shards > m.words {
-		shards = m.words
-	}
-	if shards > 1 && emitters.Count()*m.words < propagateMinWords {
-		shards = 1
-	}
-	if shards <= 1 {
-		m.orRowsRangeInto(dst, emitters, 0, m.words)
-		return
-	}
-	chunk := (m.words + shards - 1) / shards
-	var wg sync.WaitGroup
-	for lo := 0; lo < m.words; lo += chunk {
-		hi := min(lo+chunk, m.words)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m.orRowsRangeInto(dst, emitters, lo, hi)
-		}()
-	}
-	wg.Wait()
+	plan := m.PlanExchange(nil, emitters, shards)
+	runExchange(m, plan, dst, nil, emitters, shards, m.words)
 }
 
-// PropagateToTargets is the matrix form of CSR.PropagateToTargets. A
-// packed row OR already informs 64 listeners per word operation, so the
-// pull direction has nothing to win here; the dense engine always
-// pushes and simply ignores the targets mask (its dst is correct
-// everywhere, a superset of the contract).
-func (m *AdjacencyMatrix) PropagateToTargets(dst, _, emitters Bitset, shards int) {
-	m.PropagateInto(dst, emitters, shards)
+// PlanExchange decides how one exchange of emitters' rows should run:
+// the dense representation always pushes (a packed row OR already
+// informs 64 listeners per word operation, so pull has nothing to
+// win), and goes serial when the word-OR volume is below the fan-out
+// threshold. The targets mask is ignored — a pushed dst is correct
+// everywhere, a superset of the targets contract.
+func (m *AdjacencyMatrix) PlanExchange(_, emitters Bitset, shards int) ExchangePlan {
+	return ExchangePlan{
+		Serial: shards <= 1 || emitters.Count()*m.words < propagateMinWords,
+	}
+}
+
+// ExchangeRange executes a planned exchange restricted to destination
+// words [loWord, hiWord): dst's range becomes the union of the
+// corresponding row words of every emitter. Workers own disjoint
+// ranges, so any partition of the full range produces the same dst as
+// one serial pass.
+func (m *AdjacencyMatrix) ExchangeRange(_ ExchangePlan, dst, _, emitters Bitset, loWord, hiWord int) {
+	m.orRowsRangeInto(dst, emitters, loWord, hiWord)
+}
+
+// PropagateToTargets is the matrix form of CSR.PropagateToTargets,
+// planning and fanning out on ad-hoc goroutines. Callers with a
+// persistent worker pool use PlanExchange + ExchangeRange directly.
+func (m *AdjacencyMatrix) PropagateToTargets(dst, targets, emitters Bitset, shards int) {
+	plan := m.PlanExchange(targets, emitters, shards)
+	runExchange(m, plan, dst, targets, emitters, shards, m.words)
 }
 
 // HasEdge reports whether the edge {u, v} is present.

@@ -3,7 +3,6 @@ package graph
 import (
 	"math/bits"
 	"sort"
-	"sync"
 )
 
 // CSR is the graph's adjacency relation in compressed-sparse-row form:
@@ -220,11 +219,16 @@ const propagateMinDegreeSum = 1 << 14
 // (including the inline shards <= 1 path); sharding changes only the
 // wall clock. Small workloads run inline regardless of shards.
 func (c *CSR) PropagateInto(dst, emitters Bitset, shards int) {
-	words := bitsetWords(c.n)
-	if shards > words {
-		shards = words
-	}
-	if shards > 1 {
+	plan := c.planPush(emitters, shards)
+	runExchange(c, plan, dst, nil, emitters, shards, bitsetWords(c.n))
+}
+
+// planPush is the push-only half of PlanExchange: serial when the
+// emitter degree sum is below the fan-out threshold. The degree sum is
+// only worth computing when fan-out is even possible.
+func (c *CSR) planPush(emitters Bitset, shards int) ExchangePlan {
+	serial := shards <= 1
+	if !serial {
 		sum := 0
 		for wi, w := range emitters {
 			base := wi << 6
@@ -233,40 +237,24 @@ func (c *CSR) PropagateInto(dst, emitters Bitset, shards int) {
 				w &= w - 1
 			}
 		}
-		if sum < propagateMinDegreeSum {
-			shards = 1
-		}
+		serial = sum < propagateMinDegreeSum
 	}
-	if shards <= 1 {
-		c.orRowsVertexRangeInto(dst, emitters, 0, words)
-		return
-	}
-	chunk := (words + shards - 1) / shards
-	var wg sync.WaitGroup
-	for lo := 0; lo < words; lo += chunk {
-		hi := min(lo+chunk, words)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c.orRowsVertexRangeInto(dst, emitters, lo, hi)
-		}()
-	}
-	wg.Wait()
+	return ExchangePlan{Serial: serial}
 }
 
-// PropagateToTargets is the direction-optimizing exchange: it fills dst
-// like PropagateInto, but is only required to be correct at the bits in
-// targets — which lets it choose, per exchange, between pushing the
-// emitters' rows (cost Σ deg(emitters)) and pulling each target's
-// first emitting neighbour (cost |targets| · expected probes). The
-// choice depends only on deterministic mask counts, and both directions
-// shard by disjoint destination word ranges, so dst restricted to
-// targets is bit-identical for every shard count and either direction.
-// Crowded exchanges — the opening rounds of a beeping algorithm, where
-// half of every neighbourhood emits — pull in O(1) probes per listener;
-// sparse frontiers push exactly as PropagateInto does.
-func (c *CSR) PropagateToTargets(dst, targets, emitters Bitset, shards int) {
-	words := bitsetWords(c.n)
+// PlanExchange decides how one exchange should run: pushing the
+// emitters' rows (cost Σ deg(emitters)) or pulling each target's first
+// emitting neighbour (cost |targets| · expected probes), and whether
+// the chosen direction's workload justifies goroutine fan-out. The
+// choice depends only on deterministic mask counts, so dst restricted
+// to targets is bit-identical for every shard count and either
+// direction. Pull probes pay a bitset read each and touch every
+// target's row, so the plan demands a clear margin before abandoning
+// push; measured on G(10⁶, 10/n) the pull direction fires exactly in
+// the crowded opening exchange (half the graph emitting), where it
+// halves the exchange cost, and leaves the sparse-frontier tail to
+// push.
+func (c *CSR) PlanExchange(targets, emitters Bitset, shards int) ExchangePlan {
 	e := emitters.Count()
 	if e > 0 && len(c.cols) > 0 {
 		t := targets.Count()
@@ -277,34 +265,35 @@ func (c *CSR) PropagateToTargets(dst, targets, emitters Bitset, shards int) {
 		}
 		pullCost := float64(t) * probes
 		pushCost := float64(e) * avgDeg
-		// Pull probes pay a bitset read each and touch every target's
-		// row, so demand a clear margin before abandoning push; measured
-		// on G(10⁶, 10/n) this fires exactly in the crowded opening
-		// exchange (half the graph emitting), where it halves the
-		// exchange cost, and leaves the sparse-frontier tail to push.
 		if pullCost < pushCost*0.75 {
-			if shards > words {
-				shards = words
-			}
-			if shards <= 1 || pullCost < propagateMinDegreeSum {
-				c.PullRangeInto(dst, targets, emitters, 0, words)
-				return
-			}
-			chunk := (words + shards - 1) / shards
-			var wg sync.WaitGroup
-			for lo := 0; lo < words; lo += chunk {
-				hi := min(lo+chunk, words)
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					c.PullRangeInto(dst, targets, emitters, lo, hi)
-				}()
-			}
-			wg.Wait()
-			return
+			return ExchangePlan{Pull: true, Serial: shards <= 1 || pullCost < propagateMinDegreeSum}
 		}
 	}
-	c.PropagateInto(dst, emitters, shards)
+	return c.planPush(emitters, shards)
+}
+
+// ExchangeRange executes a planned exchange restricted to destination
+// words [loWord, hiWord), in the plan's direction. Workers own
+// disjoint ranges, so any partition of the full range produces the
+// same dst (at the bits in targets, for pull plans) as one serial
+// pass.
+func (c *CSR) ExchangeRange(p ExchangePlan, dst, targets, emitters Bitset, loWord, hiWord int) {
+	if p.Pull {
+		c.PullRangeInto(dst, targets, emitters, loWord, hiWord)
+		return
+	}
+	c.orRowsVertexRangeInto(dst, emitters, loWord, hiWord)
+}
+
+// PropagateToTargets is the direction-optimizing exchange: it fills dst
+// like PropagateInto, but is only required to be correct at the bits in
+// targets. It plans with PlanExchange and fans out on ad-hoc
+// goroutines; callers with a persistent worker pool (the simulator's
+// round loop) use PlanExchange + ExchangeRange directly and skip the
+// per-exchange spawns.
+func (c *CSR) PropagateToTargets(dst, targets, emitters Bitset, shards int) {
+	plan := c.PlanExchange(targets, emitters, shards)
+	runExchange(c, plan, dst, targets, emitters, shards, bitsetWords(c.n))
 }
 
 // CSR returns g's compressed-sparse-row representation, building it on

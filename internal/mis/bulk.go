@@ -28,6 +28,7 @@ type feedbackBulk struct {
 var _ beep.BulkAutomaton = (*feedbackBulk)(nil)
 var _ beep.BulkProbabilityReporter = (*feedbackBulk)(nil)
 var _ beep.BulkResetter = (*feedbackBulk)(nil)
+var _ beep.BulkRanger = (*feedbackBulk)(nil)
 
 // NewFeedbackBulk returns the columnar kernel of the feedback algorithm
 // configured like NewFeedback(cfg). The two are interchangeable beyond
@@ -58,7 +59,12 @@ func (k *feedbackBulk) ResetNodes(nodes []int) {
 }
 
 func (k *feedbackBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph.Bitset) {
-	for wi, w := range active {
+	k.BeepRange(active, streams, out, 0, len(active))
+}
+
+func (k *feedbackBulk) BeepRange(active graph.Bitset, streams []*rng.Source, out graph.Bitset, loWord, hiWord int) {
+	for wi := loWord; wi < hiWord; wi++ {
+		w := active[wi]
 		base := wi << 6
 		var beeps uint64
 		for w != 0 {
@@ -73,8 +79,13 @@ func (k *feedbackBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out g
 }
 
 func (k *feedbackBulk) ObserveAll(observed, beeped, heard graph.Bitset) {
+	k.ObserveRange(observed, beeped, heard, 0, len(observed))
+}
+
+func (k *feedbackBulk) ObserveRange(observed, beeped, heard graph.Bitset, loWord, hiWord int) {
 	cfg := k.cfg
-	for wi, w := range observed {
+	for wi := loWord; wi < hiWord; wi++ {
+		w := observed[wi]
 		base := wi << 6
 		hw := heard[wi]
 		for w != 0 {
@@ -108,6 +119,7 @@ type sweepBulk struct {
 var _ beep.BulkAutomaton = (*sweepBulk)(nil)
 var _ beep.BulkProbabilityReporter = (*sweepBulk)(nil)
 var _ beep.BulkResetter = (*sweepBulk)(nil)
+var _ beep.BulkRanger = (*sweepBulk)(nil)
 
 // NewGlobalSweepBulk returns the columnar kernel of the DISC'11 sweeping
 // schedule, interchangeable with NewGlobalSweep.
@@ -122,7 +134,12 @@ func NewGlobalSweepBulk() beep.BulkFactory {
 }
 
 func (k *sweepBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph.Bitset) {
-	for wi, w := range active {
+	k.BeepRange(active, streams, out, 0, len(active))
+}
+
+func (k *sweepBulk) BeepRange(active graph.Bitset, streams []*rng.Source, out graph.Bitset, loWord, hiWord int) {
+	for wi := loWord; wi < hiWord; wi++ {
+		w := active[wi]
 		base := wi << 6
 		var beeps uint64
 		for w != 0 {
@@ -144,6 +161,8 @@ func (k *sweepBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out grap
 }
 
 func (k *sweepBulk) ObserveAll(observed, beeped, heard graph.Bitset) {} // global schedule: feedback unused
+
+func (k *sweepBulk) ObserveRange(observed, beeped, heard graph.Bitset, loWord, hiWord int) {}
 
 func (k *sweepBulk) ResetNodes(nodes []int) {
 	for _, v := range nodes {
@@ -169,6 +188,7 @@ type afekBulk struct {
 var _ beep.BulkAutomaton = (*afekBulk)(nil)
 var _ beep.BulkProbabilityReporter = (*afekBulk)(nil)
 var _ beep.BulkResetter = (*afekBulk)(nil)
+var _ beep.BulkRanger = (*afekBulk)(nil)
 
 // NewAfekOriginalBulk returns the columnar kernel of the Science'11
 // schedule, interchangeable with NewAfekOriginal.
@@ -199,7 +219,12 @@ func NewAfekOriginalBulk(cfg AfekOriginalConfig) beep.BulkFactory {
 }
 
 func (k *afekBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph.Bitset) {
-	for wi, w := range active {
+	k.BeepRange(active, streams, out, 0, len(active))
+}
+
+func (k *afekBulk) BeepRange(active graph.Bitset, streams []*rng.Source, out graph.Bitset, loWord, hiWord int) {
+	for wi := loWord; wi < hiWord; wi++ {
+		w := active[wi]
 		base := wi << 6
 		var beeps uint64
 		for w != 0 {
@@ -224,6 +249,8 @@ func (k *afekBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph
 }
 
 func (k *afekBulk) ObserveAll(observed, beeped, heard graph.Bitset) {} // global schedule: feedback unused
+
+func (k *afekBulk) ObserveRange(observed, beeped, heard graph.Bitset, loWord, hiWord int) {}
 
 func (k *afekBulk) ResetNodes(nodes []int) {
 	for _, v := range nodes {

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"beepmis/internal/fault"
+	"beepmis/internal/graph"
+	"beepmis/internal/mis"
+	"beepmis/internal/rng"
+)
+
+// TestShardPoolRunAllocations pins the pool machinery itself: feeding a
+// phase to the persistent workers must not allocate — the whole point
+// of keeping the pool alive across rounds instead of spawning
+// goroutines per phase.
+func TestShardPoolRunAllocations(t *testing.T) {
+	pool := newShardPool(1024, 4)
+	if pool == nil {
+		t.Fatal("pool degenerated")
+	}
+	defer pool.close()
+	touched := make([]int, pool.shards())
+	fn := func(shard, lo, hi int) { touched[shard] += hi - lo }
+	if allocs := testing.AllocsPerRun(200, func() { pool.run(fn) }); allocs != 0 {
+		t.Fatalf("shardPool.run allocates %v per call, want 0", allocs)
+	}
+	if total := touched[0] + touched[1] + touched[2] + touched[3]; total == 0 {
+		t.Fatal("phase fn never ran")
+	}
+}
+
+// measureRunAllocs returns the heap allocations of one full simulation
+// run of the feedback algorithm on g under opts.
+func measureRunAllocs(t *testing.T, g *graph.Graph, opts Options) float64 {
+	t.Helper()
+	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Bulk = bulk
+	return testing.AllocsPerRun(1, func() {
+		if _, err := Run(g, factory, rng.New(11), opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRoundLoopAllocations asserts the columnar and sparse round loops
+// allocate nothing per round in steady state, at shard count 1 and at a
+// pooled shard count: two runs of the same workload differing only in
+// how many rounds they last (a wake schedule holds most of the graph
+// dormant until round 160 vs 460, keeping the run — and the sharded
+// draw path, since dormant nodes stay active — alive through ~300 extra
+// steady-state rounds) must cost the same allocations. Any per-round
+// allocation would show up ~300-fold in the difference; the tolerance
+// absorbs only incidental noise (map growth, GC bookkeeping), not a
+// per-round cost.
+func TestRoundLoopAllocations(t *testing.T) {
+	const (
+		n          = 5000
+		earlyBirds = 700 // nodes awake from round 1; the rest ≥ 4300 keep active > drawShardMinNodes
+		shortWake  = 160
+		longWake   = 460
+		slack      = 40 // far below the ~300 allocs a 1-alloc/round regression would add
+	)
+	g := graph.GNP(n, 0.01, rng.New(7))
+	g.Matrix() // build cached representations outside the measurement
+	g.CSR()
+	wake := func(round int) []int {
+		w := make([]int, n)
+		for v := earlyBirds; v < n; v++ {
+			w[v] = round
+		}
+		return w
+	}
+	noise := &fault.Spec{Loss: 0.02, Spurious: 0.01}
+	for _, tc := range []struct {
+		name   string
+		engine Engine
+		shards int
+		faults *fault.Spec
+	}{
+		{"columnar/shards=1", EngineColumnar, 1, nil},
+		{"columnar/shards=4", EngineColumnar, 4, nil},
+		{"columnar/shards=4/noisy", EngineColumnar, 4, noise},
+		{"sparse/shards=1", EngineSparse, 1, nil},
+		{"sparse/shards=4", EngineSparse, 4, nil},
+		{"sparse/shards=4/noisy", EngineSparse, 4, noise},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Engine: tc.engine, Shards: tc.shards, Faults: tc.faults}
+			opts.WakeAt = wake(shortWake)
+			short := measureRunAllocs(t, g, opts)
+			opts.WakeAt = wake(longWake)
+			long := measureRunAllocs(t, g, opts)
+			if d := math.Abs(long - short); d > slack {
+				t.Fatalf("%v extra allocations across ~%d extra rounds (short %v, long %v): the round loop allocates in steady state",
+					d, longWake-shortWake, short, long)
+			}
+		})
+	}
+}

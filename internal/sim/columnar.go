@@ -4,12 +4,168 @@ import (
 	"fmt"
 	"math"
 	mathbits "math/bits"
-	"runtime"
 
 	"beepmis/internal/beep"
 	"beepmis/internal/graph"
 	"beepmis/internal/rng"
 )
+
+// drawShardMinNodes is the active-population floor below which the
+// eligible-draw and observe sweeps stay on one goroutine. A sharded
+// sweep costs one channel round-trip per worker (~1µs each); per-node
+// draws cost tens of nanoseconds, so fan-out only pays once thousands
+// of nodes are drawing. The threshold reads the engine's running
+// active count — as a run converges below it, the loop drops back to
+// serial sweeps with bit-identical results (sharding never changes
+// output, only wall clock).
+const drawShardMinNodes = 1 << 12
+
+// columnarLoop holds the per-run state the round phases share, so the
+// phase bodies can be method values created once at setup and fed to
+// the persistent shard pool with zero allocations per round. The three
+// shardable phases — eligible draws + beep tally, the two exchanges,
+// and the observe sweep — each touch only per-node state (packed
+// kernel arrays, per-node rng streams, destination mask words) of the
+// nodes in their word range, so any partition of the word space is
+// bit-identical to one serial sweep.
+type columnarLoop struct {
+	prop    bulkPropagator
+	bulk    beep.BulkAutomaton
+	ranger  beep.BulkRanger // nil when the kernel cannot range-shard
+	streams []*rng.Source
+	pool    *shardPool // nil when the effective shard count is 1
+	shards  int
+	res     *Result
+
+	// Stable per-round masks, bound once at setup.
+	beeped graph.Bitset
+	heard  graph.Bitset
+
+	// Per-phase parameters, written before each pool.run. The pool's
+	// work-channel send/receive orders these writes before the workers'
+	// reads.
+	eligible    graph.Bitset // draw mask and exchange-targets mask
+	observeMask graph.Bitset
+	xplan       graph.ExchangePlan
+	xdst        graph.Bitset
+	xemit       graph.Bitset
+
+	shardBeeps []int // per-shard beep tallies, summed after the draw phase
+
+	// Method values for the pool, created once (a method value
+	// evaluated inline would allocate its closure on every round).
+	beepFn     func(shard, lo, hi int)
+	observeFn  func(shard, lo, hi int)
+	exchangeFn func(shard, lo, hi int)
+}
+
+func newColumnarLoop(prop bulkPropagator, bulk beep.BulkAutomaton, streams []*rng.Source, res *Result, beeped, heard graph.Bitset, shards int) *columnarLoop {
+	l := &columnarLoop{
+		prop:    prop,
+		bulk:    bulk,
+		streams: streams,
+		res:     res,
+		beeped:  beeped,
+		heard:   heard,
+		shards:  shards,
+	}
+	l.ranger, _ = bulk.(beep.BulkRanger)
+	l.pool = newShardPool(len(beeped), shards)
+	if l.pool != nil {
+		l.shardBeeps = make([]int, l.pool.shards())
+		l.beepFn = l.beepShard
+		l.observeFn = l.observeShard
+		l.exchangeFn = l.exchangeShard
+	}
+	return l
+}
+
+// close releases the loop's worker pool, if any.
+func (l *columnarLoop) close() {
+	if l.pool != nil {
+		l.pool.close()
+	}
+}
+
+// tallyRange bumps res.Beeps for every beeper packed in beeped's words
+// [lo, hi) and returns how many there were. Each node's counter lives
+// in its own slot, so range-sharded tallies stay disjoint.
+func (l *columnarLoop) tallyRange(lo, hi int) int {
+	count := 0
+	for wi := lo; wi < hi; wi++ {
+		w := l.beeped[wi]
+		base := wi << 6
+		for w != 0 {
+			l.res.Beeps[base+mathbits.TrailingZeros64(w)]++
+			w &= w - 1
+			count++
+		}
+	}
+	return count
+}
+
+func (l *columnarLoop) beepShard(shard, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		l.beeped[i] = 0
+	}
+	l.ranger.BeepRange(l.eligible, l.streams, l.beeped, lo, hi)
+	l.shardBeeps[shard] = l.tallyRange(lo, hi)
+}
+
+// drawBeeps zeroes the beeped mask, has the kernel draw this round's
+// beeps for every node in eligible, and tallies them into res.Beeps,
+// returning the round's beep count. With a pool, a range-capable
+// kernel, and enough active nodes to amortise the fan-out, the draw
+// and tally run sharded; per-node streams make every node's draw
+// independent of every other's, so the sharded sweep is bit-identical
+// to the serial one.
+func (l *columnarLoop) drawBeeps(eligible graph.Bitset, active int) int {
+	if l.pool != nil && l.ranger != nil && active >= drawShardMinNodes {
+		l.eligible = eligible
+		l.pool.run(l.beepFn)
+		total := 0
+		for _, c := range l.shardBeeps {
+			total += c
+		}
+		return total
+	}
+	l.beeped.Zero()
+	l.bulk.BeepAll(eligible, l.streams, l.beeped)
+	return l.tallyRange(0, len(l.beeped))
+}
+
+func (l *columnarLoop) exchangeShard(_, lo, hi int) {
+	l.prop.ExchangeRange(l.xplan, l.xdst, l.eligible, l.xemit, lo, hi)
+}
+
+// exchange delivers one beeping exchange: dst becomes the union of the
+// emitters' neighbourhoods, correct at least at the bits in eligible.
+// The propagator plans the direction and whether fan-out pays; fanned
+// exchanges run on the persistent pool instead of spawning goroutines.
+func (l *columnarLoop) exchange(dst, eligible, emitters graph.Bitset) {
+	plan := l.prop.PlanExchange(eligible, emitters, l.shards)
+	if l.pool == nil || plan.Serial {
+		l.prop.ExchangeRange(plan, dst, eligible, emitters, 0, len(dst))
+		return
+	}
+	l.xplan, l.xdst, l.eligible, l.xemit = plan, dst, eligible, emitters
+	l.pool.run(l.exchangeFn)
+}
+
+func (l *columnarLoop) observeShard(_, lo, hi int) {
+	l.ranger.ObserveRange(l.observeMask, l.beeped, l.heard, lo, hi)
+}
+
+// observe delivers the step's outcome to every node in mask, sharded
+// under the same conditions as drawBeeps.
+func (l *columnarLoop) observe(mask graph.Bitset, active int) {
+	if l.pool != nil && l.ranger != nil && active >= drawShardMinNodes {
+		l.observeMask = mask
+		l.pool.run(l.observeFn)
+		return
+	}
+	l.bulk.ObserveAll(mask, l.beeped, l.heard)
+}
 
 // runColumnar executes the round loop entirely on packed words: node
 // lifecycle masks are bitsets, beeps are drawn by the algorithm's bulk
@@ -23,6 +179,12 @@ import (
 // scans and n interface calls — and it is bit-identical to them: the
 // kernel draws from the same per-node streams in node order, and every
 // mask update mirrors a scalar-loop transition.
+//
+// All shardable phases (draws, tallies, exchanges, observes) run on
+// one persistent worker pool created at setup, and every buffer the
+// loop touches is allocated before round 1 — the steady-state round
+// path performs no heap allocations at any shard count (enforced by
+// TestColumnarRoundAllocations).
 func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int, prop bulkPropagator, bulkFactory beep.BulkFactory, plan *faultPlan) (*Result, error) {
 	n := g.N()
 	degrees := make([]int, n)
@@ -48,10 +210,7 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			return nil, fmt.Errorf("sim: fault spec schedules reset outages but the bulk kernel (%T) does not implement beep.BulkResetter (use a per-node engine)", bulk)
 		}
 	}
-	shards := opts.Shards
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
+	shards := EffectiveShards(opts.Shards)
 
 	res := &Result{
 		InMIS:  make([]bool, n),
@@ -81,6 +240,9 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			hasNeighbors.Set(v)
 		}
 	}
+
+	loop := newColumnarLoop(prop, bulk, streams, res, beeped, heard, shards)
+	defer loop.close()
 
 	// Wake-up schedule: awake accumulates as rounds pass; wakeAt[r]
 	// lists the nodes waking at round r.
@@ -176,17 +338,7 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			}
 			eligible = eligibleScratch
 		}
-		beeped.Zero()
-		bulk.BeepAll(eligible, streams, beeped)
-		beepCount := 0
-		for wi, w := range beeped {
-			base := wi << 6
-			for w != 0 {
-				res.Beeps[base+mathbits.TrailingZeros64(w)]++
-				w &= w - 1
-				beepCount++
-			}
-		}
+		beepCount := loop.drawBeeps(eligible, active)
 		res.TotalBeeps += beepCount
 		// With wake-up scheduling or outages, established MIS members
 		// keep beeping so late arrivals can never perceive silence next
@@ -206,10 +358,12 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			}
 			emitters = emit
 		}
-		prop.PropagateToTargets(heard, eligible, emitters, shards)
+		loop.exchange(heard, eligible, emitters)
 		// Channel noise: each eligible listener's heard bit passes
 		// through the lossy/spurious channel, drawn from that
-		// (node, round)'s own stream — identical on every engine.
+		// (node, round)'s own stream — identical on every engine. The
+		// noise phase stays serial: Channel.Apply reuses one scratch
+		// stream across nodes.
 		if plan != nil && plan.channel != nil {
 			plan.channel.Apply(master, round, eligible, heard)
 		}
@@ -228,7 +382,7 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 			}
 			announcers = emit
 		}
-		prop.PropagateToTargets(neighborJoined, eligible, announcers, shards)
+		loop.exchange(neighborJoined, eligible, announcers)
 		// State transitions: joiners enter the MIS, eligible nodes that
 		// heard an announcement become dominated, the rest observe the
 		// step. Masks are fixed before activeB mutates (eligible may
@@ -243,7 +397,7 @@ func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int
 		activeB.AndNot(joined)
 		activeB.AndNot(newDom)
 		inMIS.Or(joined)
-		bulk.ObserveAll(observe, beeped, heard)
+		loop.observe(observe, active)
 		if opts.OnMISDelta != nil {
 			joinedDelta = joinedDelta[:0]
 			joined.ForEach(func(v int) { joinedDelta = append(joinedDelta, v) })

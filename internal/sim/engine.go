@@ -2,9 +2,23 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"beepmis/internal/graph"
 )
+
+// EffectiveShards resolves a shard-count option to the value the
+// columnar round loops actually run with: non-positive (the Options
+// zero value) means one shard per available CPU, runtime.GOMAXPROCS(0).
+// Everything that reports or keys on a shard count — bench records, the
+// regression gate — must resolve through here so that "-shards 0" and
+// an explicit "-shards GOMAXPROCS" name the same configuration.
+func EffectiveShards(shards int) int {
+	if shards <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return shards
+}
 
 // Engine selects the implementation of the simulator's neighbourhood
 // exchanges. Every engine executes the same algorithm state machine and

@@ -19,11 +19,18 @@ import (
 // are bit-identical within targets for every shard count.
 type bulkPropagator interface {
 	PropagateToTargets(dst, targets, emitters graph.Bitset, shards int)
+	// PlanExchange and ExchangeRange split one PropagateToTargets call
+	// into a per-exchange decision and range-restricted execution, so
+	// the round loop can fan the exchange out on its persistent shard
+	// pool instead of paying goroutine spawns per exchange per round.
+	PlanExchange(targets, emitters graph.Bitset, shards int) graph.ExchangePlan
+	ExchangeRange(p graph.ExchangePlan, dst, targets, emitters graph.Bitset, loWord, hiWord int)
 }
 
 var (
-	_ bulkPropagator = (*graph.AdjacencyMatrix)(nil)
-	_ bulkPropagator = (*graph.CSR)(nil)
+	_ bulkPropagator  = (*graph.AdjacencyMatrix)(nil)
+	_ bulkPropagator  = (*graph.CSR)(nil)
+	_ beep.BulkRanger = (*perNodeBulk)(nil)
 )
 
 // perNodeBulk adapts per-node automata to the beep.BulkAutomaton
@@ -65,7 +72,17 @@ func (b *perNodeBulk) ResetNodes(nodes []int) {
 }
 
 func (b *perNodeBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph.Bitset) {
-	active.ForEach(func(v int) {
+	b.BeepRange(active, streams, out, 0, len(active))
+}
+
+// BeepRange implements beep.BulkRanger. Factories hand every node its
+// own automaton and every automaton draws only from its own stream, so
+// disjoint node ranges touch disjoint state and the adapter satisfies
+// the ranger contract for exactly the same reason the packed kernels
+// do. (An automaton that shared mutable state across nodes would
+// already violate the per-node engines' determinism contract.)
+func (b *perNodeBulk) BeepRange(active graph.Bitset, streams []*rng.Source, out graph.Bitset, loWord, hiWord int) {
+	active.ForEachRange(loWord, hiWord, func(v int) {
 		if b.autos[v].Beep(streams[v]) {
 			out.Set(v)
 		}
@@ -73,7 +90,12 @@ func (b *perNodeBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out gr
 }
 
 func (b *perNodeBulk) ObserveAll(observed, beeped, heard graph.Bitset) {
-	observed.ForEach(func(v int) {
+	b.ObserveRange(observed, beeped, heard, 0, len(observed))
+}
+
+// ObserveRange implements beep.BulkRanger; see BeepRange.
+func (b *perNodeBulk) ObserveRange(observed, beeped, heard graph.Bitset, loWord, hiWord int) {
+	observed.ForEachRange(loWord, hiWord, func(v int) {
 		b.autos[v].Observe(beep.Outcome{Beeped: beeped.Test(v), Heard: heard.Test(v)})
 	})
 }

@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
 # bench.sh — record the across-PR engine benchmark trajectory.
 #
-# Runs `misbench -bench -json` on the standard workload trio — the
-# dense G(20000, 1/2) and sparse G(100000, 0.05) used by every PR's
-# engine comparison, plus the large-sparse G(10^6, 10/n) that only the
-# scalar and sparse engines can hold — and writes ONE top-level JSON
-# array of records (the stable schema trajectory tooling parses; the
-# pre-PR4 files were newline-delimited records, which `jq .` and every
-# plain JSON decoder read as one record followed by trailing garbage).
-# Records carry engine, auto_engine, goversion/gomaxprocs/timestamp and
-# heap_mb, so files from different machines remain interpretable side
-# by side.
+# Stages:
+#   1. The standard single-core workload trio — the dense G(20000, 1/2)
+#      and sparse G(100000, 0.05) used by every PR's engine comparison,
+#      plus the large-sparse G(10^6, 10/n) that only the scalar and
+#      sparse engines can hold — pinned to -shards 1 so the records'
+#      (engine, n, p, shards, faults) keys are machine-independent.
+#   2. The noisy-channel overhead pair (PR 5) under per-listener
+#      loss=0.05 / spurious=0.01.
+#   3. The shards × GOMAXPROCS sweep (PR 6): the columnar and sparse
+#      engines on G(100000, 0.05) across the {1,2,4}×{1,2,4} grid, and
+#      the sparse engine on G(10^6, 10/n) at its corners — the
+#      multi-core scaling record EXPERIMENTS.md reads its table from.
+#   4. The perf-gate grid: small pinned workloads CI re-runs with
+#      `misbench -bench -compare <this file>` (see ci.yml perf-gate).
+#
+# Output is ONE top-level JSON array of records (the stable schema
+# trajectory tooling parses). Records carry engine, auto_engine,
+# shards, goversion/gomaxprocs/timestamp and heap_mb, so files from
+# different machines remain interpretable side by side.
 #
 # The outfile argument is required: committed trajectory files
 # (BENCH_pr3.json, …) are per-PR records, and a default would invite
@@ -31,22 +40,56 @@ trap 'rm -f "$tmp" "$bin"' EXIT
 
 go build -o "$bin" ./cmd/misbench
 
-"$bin" -bench -json -benchn 20000 -benchp 0.5 -benchruns "$runs" >"$tmp"
-"$bin" -bench -json -benchn 100000 -benchp 0.05 -benchruns "$runs" >>"$tmp"
+# --- Stage 1: single-core trio (shards pinned to 1) ------------------
+"$bin" -bench -json -shards 1 -benchn 20000 -benchp 0.5 -benchruns "$runs" >"$tmp"
+"$bin" -bench -json -shards 1 -benchn 100000 -benchp 0.05 -benchruns "$runs" >>"$tmp"
 # Large-sparse: a single run is already most of a minute of scalar wall
 # clock, and the auto enumeration measures only the engines whose
 # representation fits the memory budget — scalar and sparse here (the
 # dense matrix would need 125 GB).
-"$bin" -bench -json -benchn 1000000 -benchp 0.00001 -benchruns 1 >>"$tmp"
-# Noisy-channel overhead (PR 5): the same dense and large-sparse
-# workloads under per-listener loss=0.05 / spurious=0.01, so the fault
-# layer's per-(node, round) stream derivations are priced against the
-# clean baseline above. Records carry a "faults" field, so clean and
-# noisy rows of one file stay distinguishable. Note rounds change too —
-# noise alters the execution, so compare ns/round, not ns/run.
+"$bin" -bench -json -shards 1 -benchn 1000000 -benchp 0.00001 -benchruns 1 >>"$tmp"
+
+# --- Stage 2: noisy-channel overhead ---------------------------------
+# The same dense and large-sparse workloads under channel noise, so the
+# fault layer's per-(node, round) stream derivations are priced against
+# the clean baseline above. Records carry a "faults" field, so clean
+# and noisy rows of one file stay distinguishable. Note rounds change
+# too — noise alters the execution, so compare ns/round, not ns/run.
 noisy='{"loss":0.05,"spurious":0.01}'
-"$bin" -bench -json -benchn 20000 -benchp 0.5 -benchruns "$runs" -faults "$noisy" >>"$tmp"
-"$bin" -bench -json -benchn 1000000 -benchp 0.00001 -benchruns 1 -faults "$noisy" >>"$tmp"
+"$bin" -bench -json -shards 1 -benchn 20000 -benchp 0.5 -benchruns "$runs" -faults "$noisy" >>"$tmp"
+"$bin" -bench -json -shards 1 -benchn 1000000 -benchp 0.00001 -benchruns 1 -faults "$noisy" >>"$tmp"
+
+# --- Stage 3: shards × GOMAXPROCS sweep ------------------------------
+# Engine pins keep the sweep to the two engines that shard. GOMAXPROCS
+# is set explicitly per run, so the sweep means the same thing on any
+# machine (a record's gomaxprocs field stamps what applied). Oversharding
+# (shards > GOMAXPROCS) is part of the grid on purpose: it must cost
+# little and never change results.
+for gmp in 1 2 4; do
+  for shards in 1 2 4; do
+    GOMAXPROCS="$gmp" "$bin" -bench -json -engine columnar -shards "$shards" \
+      -benchn 100000 -benchp 0.05 -benchruns "$runs" >>"$tmp"
+    GOMAXPROCS="$gmp" "$bin" -bench -json -engine sparse -shards "$shards" \
+      -benchn 100000 -benchp 0.05 -benchruns "$runs" >>"$tmp"
+  done
+done
+# Large-sparse corners only: graph generation dominates repeated runs.
+GOMAXPROCS=1 "$bin" -bench -json -engine sparse -shards 1 -benchn 1000000 -benchp 0.00001 -benchruns 1 >>"$tmp"
+GOMAXPROCS=4 "$bin" -bench -json -engine sparse -shards 1 -benchn 1000000 -benchp 0.00001 -benchruns 1 >>"$tmp"
+GOMAXPROCS=4 "$bin" -bench -json -engine sparse -shards 4 -benchn 1000000 -benchp 0.00001 -benchruns 1 >>"$tmp"
+
+# --- Stage 4: perf-gate grid -----------------------------------------
+# Small, fast, fully pinned workloads whose keys CI re-measures and
+# compares against this committed file (generous tolerance — the gate
+# exists to catch order-of-magnitude regressions, not machine drift).
+# All four engines are recorded for the trajectory, but CI gates only
+# the columnar/sparse keys — the scalar/bitset rounds on graphs this
+# small are microseconds and their ratios are scheduler noise.
+# Keep in sync with the perf-gate job in .github/workflows/ci.yml.
+for shards in 1 2; do
+  GOMAXPROCS=2 "$bin" -bench -json -shards "$shards" -benchn 2000 -benchp 0.1 -benchruns "$runs" >>"$tmp"
+  GOMAXPROCS=2 "$bin" -bench -json -shards "$shards" -benchn 5000 -benchp 0.004 -benchruns "$runs" >>"$tmp"
+done
 
 # Wrap the one-record-per-line stream into a single top-level JSON
 # array (records are single lines by construction).
