@@ -30,6 +30,20 @@ type benchRecord struct {
 	Shards     int     `json:"shards"`
 	N          int     `json:"n"`
 	P          float64 `json:"p"`
+	// Graph labels non-default workloads from -graph / -graphfile (e.g.
+	// "rmat:n=1048576,edges=8388608"); empty for the default G(n,p)
+	// bench, so records and regression-gate keys from baselines that
+	// predate the field still match exactly.
+	Graph string `json:"graph,omitempty"`
+	// M is the workload's final (deduplicated) edge count; BuildNs and
+	// EdgesPerSec time its construction — the direct-to-CSR pipeline's
+	// own trajectory, measured once per bench invocation and stamped on
+	// every engine's record. GraphDigest is the hex SHA-256 of a
+	// -graphfile workload's bytes.
+	M           int64   `json:"m,omitempty"`
+	BuildNs     int64   `json:"build_ns,omitempty"`
+	EdgesPerSec float64 `json:"edges_per_sec,omitempty"`
+	GraphDigest string  `json:"graph_digest,omitempty"`
 	// Faults is the normalised fault-model JSON the runs executed under
 	// (absent for the clean baseline), so noisy and clean trajectory
 	// records are distinguishable without out-of-band context.
@@ -54,18 +68,19 @@ type benchRecord struct {
 // bound); a pin measures just that engine. Results of all engines are
 // seed-identical — the benchmark varies only the wall clock, which is
 // the point.
-func collectEngineBench(n int, p float64, runs int, seed uint64, engine sim.Engine, shards int, memBudget int64, faults *fault.Spec) ([]benchRecord, error) {
-	if n <= 0 || runs <= 0 {
-		return nil, fmt.Errorf("bench needs positive -benchn and -benchruns (got %d, %d)", n, runs)
+func collectEngineBench(wl *benchWorkload, p float64, runs int, seed uint64, engine sim.Engine, shards int, memBudget int64, faults *fault.Spec) ([]benchRecord, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("bench needs positive -benchruns (got %d)", runs)
 	}
-	if p < 0 || p > 1 {
-		return nil, fmt.Errorf("bench edge probability %v outside [0,1]", p)
+	g := wl.g
+	n := g.N()
+	if wl.label != "" {
+		p = 0 // the workload label identifies non-G(n,p) records
 	}
 	faults = faults.Normalized()
 	if err := faults.Validate(n); err != nil {
 		return nil, err
 	}
-	g := graph.GNP(n, p, rng.New(seed))
 	factory, bulk, err := mis.NewFactories(mis.Spec{Name: mis.NameFeedback})
 	if err != nil {
 		return nil, err
@@ -119,7 +134,15 @@ func collectEngineBench(n int, p float64, runs int, seed uint64, engine sim.Engi
 		var rounds, beeps float64
 		start := time.Now()
 		for run := 0; run < runs; run++ {
-			res, err := sim.Run(g, factory, rng.New(seed+uint64(run)), opts)
+			var res *sim.Result
+			var err error
+			if wl.csr != nil && e == sim.EngineSparse {
+				// Direct-to-CSR workloads exercise the no-backing-Graph
+				// sparse path the pipeline exists for.
+				res, err = sim.RunCSR(wl.csr, factory, rng.New(seed+uint64(run)), opts)
+			} else {
+				res, err = sim.Run(g, factory, rng.New(seed+uint64(run)), opts)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("bench engine %v run %d: %w", e, run, err)
 			}
@@ -135,22 +158,31 @@ func collectEngineBench(n int, p float64, runs int, seed uint64, engine sim.Engi
 		runtime.GC()
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
+		edgesPerSec := 0.0
+		if wl.buildNs > 0 {
+			edgesPerSec = float64(wl.edges) / (float64(wl.buildNs) / 1e9)
+		}
 		records = append(records, benchRecord{
-			Engine:     e.String(),
-			AutoEngine: autoEngine,
-			Shards:     recShards,
-			N:          n,
-			P:          p,
-			Faults:     faults,
-			Runs:       runs,
-			Rounds:     rounds / float64(runs),
-			Beeps:      beeps / float64(runs),
-			NsPerRound: float64(elapsed.Nanoseconds()) / rounds,
-			NsPerRun:   float64(elapsed.Nanoseconds()) / float64(runs),
-			HeapMB:     float64(ms.HeapAlloc) / (1 << 20),
-			GoVersion:  runtime.Version(),
-			GoMaxProcs: runtime.GOMAXPROCS(0),
-			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Engine:      e.String(),
+			AutoEngine:  autoEngine,
+			Shards:      recShards,
+			N:           n,
+			P:           p,
+			Graph:       wl.label,
+			M:           wl.edges,
+			BuildNs:     wl.buildNs,
+			EdgesPerSec: edgesPerSec,
+			GraphDigest: wl.digest,
+			Faults:      faults,
+			Runs:        runs,
+			Rounds:      rounds / float64(runs),
+			Beeps:       beeps / float64(runs),
+			NsPerRound:  float64(elapsed.Nanoseconds()) / rounds,
+			NsPerRun:    float64(elapsed.Nanoseconds()) / float64(runs),
+			HeapMB:      float64(ms.HeapAlloc) / (1 << 20),
+			GoVersion:   runtime.Version(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		})
 	}
 	return records, nil
@@ -176,8 +208,12 @@ func writeBenchRecords(w io.Writer, records []benchRecord, asJSON bool) error {
 				noisy = fmt.Sprintf(" [faults %s]", b)
 			}
 		}
-		fmt.Fprintf(w, "%-9s shards=%-2d G(%d,%g): %.1f rounds/run, %.0f beeps/run, %.0f ns/round, %.2f ms/run, heap %.0f MB (auto→%s)%s\n",
-			rec.Engine, rec.Shards, rec.N, rec.P, rec.Rounds, rec.Beeps, rec.NsPerRound, rec.NsPerRun/1e6, rec.HeapMB, rec.AutoEngine, noisy)
+		workload := fmt.Sprintf("G(%d,%g)", rec.N, rec.P)
+		if rec.Graph != "" {
+			workload = fmt.Sprintf("%s (n=%d, m=%d)", rec.Graph, rec.N, rec.M)
+		}
+		fmt.Fprintf(w, "%-9s shards=%-2d %s: %.1f rounds/run, %.0f beeps/run, %.0f ns/round, %.2f ms/run, heap %.0f MB (auto→%s)%s\n",
+			rec.Engine, rec.Shards, workload, rec.Rounds, rec.Beeps, rec.NsPerRound, rec.NsPerRun/1e6, rec.HeapMB, rec.AutoEngine, noisy)
 	}
 	return nil
 }

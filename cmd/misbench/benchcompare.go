@@ -22,10 +22,17 @@ type benchKey struct {
 	P      float64
 	Shards int
 	Faults string
+	// Graph is the -graph/-graphfile workload label; "" for the default
+	// G(n,p) bench, so baselines recorded before the field existed still
+	// key identically.
+	Graph string
 }
 
 func (k benchKey) String() string {
 	s := fmt.Sprintf("%s shards=%d G(%d,%g)", k.Engine, k.Shards, k.N, k.P)
+	if k.Graph != "" {
+		s = fmt.Sprintf("%s shards=%d %s", k.Engine, k.Shards, k.Graph)
+	}
 	if k.Faults != "" {
 		s += " faults=" + k.Faults
 	}
@@ -36,7 +43,7 @@ func (k benchKey) String() string {
 // Normalized fault specs (collectEngineBench normalises before
 // running), so marshalling is canonical.
 func keyOf(r benchRecord) benchKey {
-	k := benchKey{Engine: r.Engine, N: r.N, P: r.P, Shards: r.Shards}
+	k := benchKey{Engine: r.Engine, N: r.N, P: r.P, Shards: r.Shards, Graph: r.Graph}
 	if f := r.Faults.Normalized(); f != nil {
 		if b, err := json.Marshal(f); err == nil {
 			k.Faults = string(b)
@@ -57,6 +64,7 @@ type benchDiffEntry struct {
 	P              float64 `json:"p"`
 	Shards         int     `json:"shards"`
 	Faults         string  `json:"faults,omitempty"`
+	Graph          string  `json:"graph,omitempty"`
 	Status         string  `json:"status"`
 	BaseNsPerRound float64 `json:"base_ns_per_round,omitempty"`
 	CurNsPerRound  float64 `json:"cur_ns_per_round"`
@@ -116,6 +124,7 @@ func compareBenchRecords(baseline, current []benchRecord, tolerance float64) ben
 			P:             k.P,
 			Shards:        k.Shards,
 			Faults:        k.Faults,
+			Graph:         k.Graph,
 			CurNsPerRound: r.NsPerRound,
 		}
 		base, ok := best[k]

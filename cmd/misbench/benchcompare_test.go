@@ -253,7 +253,11 @@ func TestBenchCompareBadBaseline(t *testing.T) {
 func TestBenchRecordEffectiveShards(t *testing.T) {
 	old := goruntime.GOMAXPROCS(3)
 	defer goruntime.GOMAXPROCS(old)
-	records, err := collectEngineBench(300, 0.5, 1, 1, 0, 0, 0, nil)
+	wl, err := buildBenchWorkload("", "", 300, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := collectEngineBench(wl, 0.5, 1, 1, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

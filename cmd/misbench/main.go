@@ -79,6 +79,8 @@ func run(args []string, stdout io.Writer) error {
 		benchN    = fs.Int("benchn", 20000, "bench graph size n for G(n,p)")
 		benchP    = fs.Float64("benchp", 0.5, "bench edge probability p for G(n,p)")
 		benchR    = fs.Int("benchruns", 3, "bench simulation runs per engine")
+		graphSpec = fs.String("graph", "", `bench a generated direct-to-CSR workload instead of the default G(n,p): "rmat:n=65536,edges=1048576[,a=,b=,c=]", "configmodel:n=...,edges=...[,gamma=]", or "gnp:n=...,p=..." (the Batagelj–Brandes fast path)`)
+		graphFile = fs.String("graphfile", "", "bench a graph streamed from this file (edge-list, .bel binary, or METIS — format inferred from the extension)")
 		asJSON    = fs.Bool("json", false, "emit -bench results as JSON records (engine, auto_engine, shards, rounds, ns/round, beeps, heap)")
 		faultsDoc = fs.String("faults", "", `fault-model JSON (e.g. '{"loss":0.05,"spurious":0.01}'): per-listener channel noise, wake schedules, outages — applied to every trial on every engine`)
 	)
@@ -118,8 +120,15 @@ func run(args []string, stdout io.Writer) error {
 		defer func() { _ = f.Close() }()
 		w = f
 	}
+	if (*graphSpec != "" || *graphFile != "") && !*bench {
+		return fmt.Errorf("-graph and -graphfile apply to -bench workloads")
+	}
 	if *bench {
-		records, err := collectEngineBench(*benchN, *benchP, *benchR, *seed, eng, *shards, *memBudget, faults)
+		wl, err := buildBenchWorkload(*graphSpec, *graphFile, *benchN, *benchP, *seed)
+		if err != nil {
+			return err
+		}
+		records, err := collectEngineBench(wl, *benchP, *benchR, *seed, eng, *shards, *memBudget, faults)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -116,6 +117,73 @@ func TestServeSubmitShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "misd: stopped") {
 		t.Fatalf("missing shutdown log in %q", out.String())
+	}
+}
+
+// TestFileGraphDigestInContentHash: the service content-addresses jobs
+// by the canonical spec hash, and for file-family graphs the file's
+// SHA-256 digest is folded into that surface at compile time. Submitting
+// the byte-identical spec twice with different file contents must
+// therefore yield two different job IDs — otherwise a changed graph
+// would silently hit the first submission's cached result.
+func TestFileGraphDigestInContentHash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.el")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-grace", "5s"}, io.Discard, func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-errCh:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+	defer func() {
+		cancel()
+		<-errCh
+	}()
+
+	// The spec bytes never change between the two submissions; only the
+	// file behind the path does.
+	spec := fmt.Sprintf(`{"graph":{"family":"file","path":%q},"algorithm":"feedback","trials":1,"seed":1}`, path)
+	submit := func(graphFile string) string {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(graphFile), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/scenarios", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", resp.StatusCode, body)
+		}
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+			t.Fatalf("submit response %s: %v", body, err)
+		}
+		return sub.ID
+	}
+
+	id1 := submit("n 4\n0 1\n2 3\n")
+	id1Again := submit("n 4\n0 1\n2 3\n")
+	id2 := submit("n 4\n0 1\n1 2\n")
+	if id1 != id1Again {
+		t.Fatalf("same spec, same file bytes hashed differently: %s vs %s", id1, id1Again)
+	}
+	if id1 == id2 {
+		t.Fatalf("same spec, different file bytes produced the same content hash %s", id1)
 	}
 }
 

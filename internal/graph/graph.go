@@ -37,13 +37,13 @@ type Graph struct {
 // ErrVertexRange indicates a vertex index outside [0, N).
 var ErrVertexRange = errors.New("graph: vertex out of range")
 
-// Builder accumulates edges and produces an immutable Graph. Duplicate
-// edges and self-loops are rejected at AddEdge time, keeping the graph
-// simple by construction.
+// Builder accumulates edges and produces an immutable Graph. Self-loops
+// and out-of-range endpoints are rejected at AddEdge time; duplicate
+// edges are accepted and removed by Build, so the finished graph is
+// simple either way.
 type Builder struct {
 	n   int
 	adj [][]int32
-	m   int
 }
 
 // NewBuilder returns a Builder for a graph with n vertices.
@@ -55,8 +55,11 @@ func NewBuilder(n int) *Builder {
 }
 
 // AddEdge inserts the undirected edge {u, v}. It returns an error for
-// self-loops or out-of-range endpoints; duplicate insertions are ignored
-// (idempotent) so generators can be sloppy about multi-edges.
+// self-loops or out-of-range endpoints. Duplicate insertions are
+// accepted here and deduplicated by Build (a linear duplicate check per
+// insert would be quadratic on dense graphs), so generators can be
+// sloppy about multi-edges; the built graph's M() counts each edge
+// once.
 func (b *Builder) AddEdge(u, v int) error {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		return fmt.Errorf("%w: edge {%d,%d} with n=%d", ErrVertexRange, u, v, b.n)
@@ -64,11 +67,8 @@ func (b *Builder) AddEdge(u, v int) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop at vertex %d", u)
 	}
-	// Linear duplicate check here would be quadratic for dense graphs;
-	// instead allow duplicates now and dedupe in Build.
 	b.adj[u] = append(b.adj[u], int32(v))
 	b.adj[v] = append(b.adj[v], int32(u))
-	b.m++
 	return nil
 }
 

@@ -61,9 +61,14 @@ func TestBuilderDedupesEdges(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// A non-duplicated edge alongside the duplicates: M() must count
+	// distinct edges, not insertions.
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
 	g := b.Build()
-	if g.M() != 1 {
-		t.Fatalf("M = %d after duplicate inserts, want 1", g.M())
+	if g.M() != 2 {
+		t.Fatalf("M = %d after duplicate inserts of {0,1} plus {1,2}, want 2", g.M())
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)

@@ -243,6 +243,97 @@ var families = map[string]familyInfo{
 			return graph.RandomRegular(n, g.D, src)
 		},
 	},
+	// The three direct-to-CSR families. Their builders return a
+	// graph.FromCSR view — adjacency slice headers aliasing the CSR's
+	// column array — so the sparse engine gets the CSR with no copy and
+	// the verifier gets its neighbour walks from the same storage.
+	"rmat": {
+		usesN: true, random: true, extra: []string{"edges", "a", "b", "c"},
+		expectedEdges: func(g GraphSpec, _ int, _ float64) float64 { return float64(g.Edges) },
+		nodes:         identityNodes,
+		validate: func(g GraphSpec, n int, _ float64) error {
+			if n < 2 || n&(n-1) != 0 {
+				return fmt.Errorf("scenario: rmat needs n a power of two ≥ 2 (got %d)", n)
+			}
+			if g.Edges < 1 {
+				return fmt.Errorf("scenario: rmat needs edges ≥ 1 (got %d)", g.Edges)
+			}
+			if err := graph.ValidateRMATProbs(g.A, g.B, g.C, 1-g.A-g.B-g.C); err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+			return nil
+		},
+		build: func(g GraphSpec, n int, _ float64, src *rng.Source) (*graph.Graph, error) {
+			c, err := graph.RMATCSR(n, g.Edges, g.A, g.B, g.C, 1-g.A-g.B-g.C, src, 0)
+			if err != nil {
+				return nil, err
+			}
+			return graph.FromCSR(c), nil
+		},
+	},
+	"configmodel": {
+		usesN: true, random: true, extra: []string{"edges", "gamma"},
+		expectedEdges: func(g GraphSpec, _ int, _ float64) float64 { return float64(g.Edges) },
+		nodes:         identityNodes,
+		validate: func(g GraphSpec, _ int, _ float64) error {
+			if g.Edges < 1 {
+				return fmt.Errorf("scenario: configmodel needs edges ≥ 1 (got %d)", g.Edges)
+			}
+			if math.IsNaN(g.Gamma) || g.Gamma <= 2 {
+				return fmt.Errorf("scenario: configmodel exponent gamma=%v must exceed 2 (finite mean degree)", g.Gamma)
+			}
+			return nil
+		},
+		build: func(g GraphSpec, n int, _ float64, src *rng.Source) (*graph.Graph, error) {
+			c, err := graph.ConfigModelCSR(n, g.Edges, g.Gamma, src, 0)
+			if err != nil {
+				return nil, err
+			}
+			return graph.FromCSR(c), nil
+		},
+	},
+	// file loads a graph from disk through the streaming loaders — never
+	// an intermediate adjacency Graph. It is deterministic (not random:
+	// the file's bytes are pinned by the digest Compile resolves), so the
+	// runner builds it once per unit and shares it across trials.
+	"file": {
+		extra: []string{"path", "format", "digest"},
+		expectedEdges: func(g GraphSpec, _ int, _ float64) float64 {
+			info, err := graph.PeekGraphFile(g.Path, g.Format)
+			if err != nil {
+				return float64(MaxUnitMemory) // validate reports the real error
+			}
+			return float64(info.Edges)
+		},
+		nodes: func(g GraphSpec, _ int) int {
+			info, err := graph.PeekGraphFile(g.Path, g.Format)
+			if err != nil {
+				return MaxNodes + 1 // out of range; validate reports the real error
+			}
+			return info.N
+		},
+		validate: func(g GraphSpec, _ int, _ float64) error {
+			if g.Path == "" {
+				return fmt.Errorf("scenario: file family needs a graph path")
+			}
+			if _, err := graph.PeekGraphFile(g.Path, g.Format); err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+			return nil
+		},
+		build: func(g GraphSpec, _ int, _ float64, _ *rng.Source) (*graph.Graph, error) {
+			c, digest, err := graph.LoadCSRFile(g.Path, g.Format, 0)
+			if err != nil {
+				return nil, err
+			}
+			// The compiled plan's hash covers g.Digest; a different file
+			// on disk at run time would silently poison the result cache.
+			if digest != g.Digest {
+				return nil, fmt.Errorf("graph file %s has digest %s, but the compiled scenario expects %s (file changed since submission?)", g.Path, digest, g.Digest)
+			}
+			return graph.FromCSR(c), nil
+		},
+	},
 }
 
 // Families returns the supported graph family names, sorted.
@@ -312,6 +403,14 @@ func graphFieldChecks(g GraphSpec) map[string]bool {
 		"d":      g.D != 0,
 		"k":      g.K != 0,
 		"beta":   g.Beta != 0,
+		"edges":  g.Edges != 0,
+		"a":      g.A != 0,
+		"b":      g.B != 0,
+		"c":      g.C != 0,
+		"gamma":  g.Gamma != 0,
+		"path":   g.Path != "",
+		"format": g.Format != "",
+		"digest": g.Digest != "",
 	}
 }
 
@@ -383,6 +482,26 @@ func (s *Spec) Compile() (*Compiled, error) {
 	}
 	if n.Graph.Seed != 0 && !info.random {
 		return nil, fmt.Errorf("scenario: graph field \"seed\" is not used by deterministic family %q", n.Graph.Family)
+	}
+
+	// A file-family scenario's results are a function of the file's
+	// bytes, so its content hash must be too: resolve the SHA-256 digest
+	// now, before the units capture the GraphSpec and before the
+	// canonical form below is serialised. A spec that pre-sets the
+	// digest is pinning the content it was written against — a mismatch
+	// means the file on disk is not that graph.
+	if n.Graph.Family == "file" {
+		if n.Graph.Path == "" {
+			return nil, fmt.Errorf("scenario: file family needs a graph path")
+		}
+		digest, err := graph.HashGraphFile(n.Graph.Path)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: hashing graph file: %w", err)
+		}
+		if n.Graph.Digest != "" && n.Graph.Digest != digest {
+			return nil, fmt.Errorf("scenario: graph file %s has digest %s, but the spec pins %s (file changed since the spec was written?)", n.Graph.Path, digest, n.Graph.Digest)
+		}
+		n.Graph.Digest = digest
 	}
 
 	// The base algorithm is validated even when a sweep's list replaces
@@ -494,7 +613,9 @@ func (s *Spec) Compile() (*Compiled, error) {
 		}
 	}
 
-	canonical, err := s.Canonical()
+	// Canonicalise the resolved spec (n carries the file digest), not
+	// the raw input: the digest is part of the hash surface.
+	canonical, err := n.Canonical()
 	if err != nil {
 		return nil, err
 	}

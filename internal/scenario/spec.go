@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"beepmis/internal/fault"
+	"beepmis/internal/graph"
 	"beepmis/internal/sim"
 )
 
@@ -84,6 +85,31 @@ type GraphSpec struct {
 	K int `json:"k,omitempty"`
 	// Beta is the Watts–Strogatz rewiring probability.
 	Beta float64 `json:"beta,omitempty"`
+	// Edges is the sampled edge count of the rmat and configmodel
+	// families (self-loops and duplicate samples are dropped, so the
+	// instance's edge count is at most this).
+	Edges int64 `json:"edges,omitempty"`
+	// A, B, C are the rmat quadrant probabilities (the fourth quadrant
+	// gets the remainder 1−a−b−c); all-zero means the Graph500 defaults
+	// (0.57, 0.19, 0.19, leaving 0.05).
+	A float64 `json:"a,omitempty"`
+	B float64 `json:"b,omitempty"`
+	C float64 `json:"c,omitempty"`
+	// Gamma is the configmodel power-law exponent; 0 means 2.5.
+	Gamma float64 `json:"gamma,omitempty"`
+	// Path locates the graph file of the "file" family, resolved
+	// relative to the running process's working directory.
+	Path string `json:"path,omitempty"`
+	// Format names the file's format ("edgelist", "edgelist-binary",
+	// "metis"); empty means inferred from the path's extension.
+	Format string `json:"format,omitempty"`
+	// Digest is the hex SHA-256 of the graph file's bytes. Compile
+	// computes it and folds it into the content hash — the same spec
+	// over different file bytes is a different scenario, which is what
+	// keeps the misd result cache sound for file-referenced graphs. A
+	// spec may pre-set it to pin the expected file content; a mismatch
+	// with the actual file is a compile error.
+	Digest string `json:"digest,omitempty"`
 	// Seed, when non-zero, pins the graph: every trial runs on the same
 	// instance generated from this seed. When zero (the default) random
 	// families draw a fresh instance per trial from the scenario's
@@ -231,6 +257,24 @@ func (s *Spec) Normalized() *Spec {
 	if n.Engine == "" {
 		n.Engine = "auto"
 	}
+	// Graph-family defaults are materialised for the same reason the
+	// algorithm defaults below are: "rmat with no probabilities" and
+	// "rmat with the Graph500 probabilities spelled out" are the same
+	// workload and must hash identically.
+	switch n.Graph.Family {
+	case "rmat":
+		if n.Graph.A == 0 && n.Graph.B == 0 && n.Graph.C == 0 {
+			n.Graph.A, n.Graph.B, n.Graph.C = 0.57, 0.19, 0.19
+		}
+	case "configmodel":
+		if n.Graph.Gamma == 0 {
+			n.Graph.Gamma = 2.5
+		}
+	case "file":
+		if n.Graph.Format == "" && n.Graph.Path != "" {
+			n.Graph.Format = graph.DetectGraphFormat(n.Graph.Path)
+		}
+	}
 	// Fold the sweep: a one-point axis is the same scenario as the
 	// plain base field (the compiled units and rng streams are
 	// identical), so collapse single-value axes into the base and drop
@@ -347,6 +391,14 @@ type canonicalSpec struct {
 // to produce byte-identical reports.
 func (s *Spec) Canonical() ([]byte, error) {
 	n := s.Normalized()
+	// A file-family spec's hash covers the file's bytes via the digest
+	// Compile resolves. Hashing one without a digest would let two
+	// different graphs share a cache key, so the unresolved form has no
+	// canonical serialisation — Compile (and everything above it) always
+	// hashes the resolved spec.
+	if n.Graph.Family == "file" && n.Graph.Digest == "" {
+		return nil, fmt.Errorf("scenario: file-family spec has no resolved digest (hash via Compile, which reads the file)")
+	}
 	c := canonicalSpec{
 		Graph:             n.Graph,
 		Algorithm:         n.Algorithm,

@@ -497,6 +497,9 @@ func TestFamiliesAllBuildable(t *testing.T) {
 		"wattsstrogatz":      `{"graph":{"family":"wattsstrogatz","n":40,"k":4,"beta":0.2},"algorithm":"feedback"}`,
 		"hypercube":          `{"graph":{"family":"hypercube","d":5},"algorithm":"feedback"}`,
 		"randomregular":      `{"graph":{"family":"randomregular","n":30,"d":4},"algorithm":"feedback"}`,
+		"rmat":               `{"graph":{"family":"rmat","n":64,"edges":256},"algorithm":"feedback"}`,
+		"configmodel":        `{"graph":{"family":"configmodel","n":50,"edges":150},"algorithm":"feedback"}`,
+		"file":               `{"graph":{"family":"file","path":"testdata/tiny.el"},"algorithm":"feedback"}`,
 	}
 	if len(docs) != len(Families()) {
 		t.Fatalf("test covers %d families, registry has %d (%v)", len(docs), len(Families()), Families())

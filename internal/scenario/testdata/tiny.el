@@ -1,0 +1,9 @@
+# tiny fixture: 6-cycle with one chord (0-3)
+n 6
+0 1
+1 2
+2 3
+3 4
+4 5
+0 5
+0 3

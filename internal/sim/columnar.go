@@ -185,7 +185,7 @@ func (l *columnarLoop) observe(mask graph.Bitset, active int) {
 // loop touches is allocated before round 1 — the steady-state round
 // path performs no heap allocations at any shard count (enforced by
 // TestColumnarRoundAllocations).
-func runColumnar(g *graph.Graph, master *rng.Source, opts Options, maxRounds int, prop bulkPropagator, bulkFactory beep.BulkFactory, plan *faultPlan) (*Result, error) {
+func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, prop bulkPropagator, bulkFactory beep.BulkFactory, plan *faultPlan) (*Result, error) {
 	n := g.N()
 	degrees := make([]int, n)
 	// Per-node streams live in one contiguous backing array: at 10⁶

@@ -15,6 +15,10 @@
 #      multi-core scaling record EXPERIMENTS.md reads its table from.
 #   4. The perf-gate grid: small pinned workloads CI re-runs with
 #      `misbench -bench -compare <this file>` (see ci.yml perf-gate).
+#   5. Construction throughput (PR 7): the direct-to-CSR pipeline on
+#      RMAT, configmodel, and Batagelj–Brandes G(n,p) workloads — the
+#      records' build_ns / edges_per_sec fields are the pipeline's own
+#      trajectory, alongside a sparse-engine run over each built graph.
 #
 # Output is ONE top-level JSON array of records (the stable schema
 # trajectory tooling parses). Records carry engine, auto_engine,
@@ -90,6 +94,20 @@ for shards in 1 2; do
   GOMAXPROCS=2 "$bin" -bench -json -shards "$shards" -benchn 2000 -benchp 0.1 -benchruns "$runs" >>"$tmp"
   GOMAXPROCS=2 "$bin" -bench -json -shards "$shards" -benchn 5000 -benchp 0.004 -benchruns "$runs" >>"$tmp"
 done
+
+# --- Stage 5: construction throughput --------------------------------
+# The direct-to-CSR pipeline at the scale it exists for: ~10^7-edge
+# RMAT and configmodel graphs plus the Batagelj–Brandes G(n,p) fast
+# path, generated once per record and timed (build_ns, edges_per_sec),
+# then a single sparse-engine run over each. Shards are pinned to 1 so
+# the keys are machine-independent; construction workers default to
+# GOMAXPROCS, which the record's gomaxprocs field stamps.
+GOMAXPROCS=1 "$bin" -bench -json -engine sparse -shards 1 -benchruns 1 \
+  -graph rmat:n=1048576,edges=8388608 >>"$tmp"
+GOMAXPROCS=1 "$bin" -bench -json -engine sparse -shards 1 -benchruns 1 \
+  -graph configmodel:n=1048576,edges=8388608 >>"$tmp"
+GOMAXPROCS=1 "$bin" -bench -json -engine sparse -shards 1 -benchruns 1 \
+  -graph gnp:n=1048576,p=0.000016 >>"$tmp"
 
 # Wrap the one-record-per-line stream into a single top-level JSON
 # array (records are single lines by construction).
