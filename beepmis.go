@@ -30,6 +30,7 @@ import (
 	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/mis"
+	"beepmis/internal/obs"
 	"beepmis/internal/rng"
 	"beepmis/internal/runtime"
 	"beepmis/internal/sim"
@@ -72,6 +73,15 @@ type FaultOutage = fault.Outage
 // FaultVerifier incrementally checks independence every round and
 // maximality at termination; see NewFaultVerifier.
 type FaultVerifier = fault.Verifier
+
+// EngineMetrics is the lock-free telemetry bundle WithMetrics attaches
+// to a simulator run: per-phase wall-time histograms, per-round
+// frontier sizes, propagation volume, and exchange-strategy counters.
+// The zero value is ready to use, one bundle may aggregate any number
+// of runs (including concurrent ones), and recording never draws
+// randomness or allocates — results are bit-identical and the round
+// loop stays allocation-free with metrics attached.
+type EngineMetrics = obs.EngineMetrics
 
 // NewFaultVerifier returns a per-round MIS safety checker for g. It is
 // driven by the simulator automatically when solving with WithFaults;
@@ -236,6 +246,7 @@ type solveOptions struct {
 	shards       int
 	memoryBudget int64
 	faults       *FaultSpec
+	metrics      *EngineMetrics
 }
 
 // Option customises Solve.
@@ -296,6 +307,17 @@ func WithMemoryBudget(bytes int64) Option {
 // goroutine-per-node runtime has no fault layer.
 func WithFaults(spec FaultSpec) Option {
 	return func(o *solveOptions) { o.faults = &spec }
+}
+
+// WithMetrics aggregates simulator telemetry for the run into m: phase
+// timings, frontier sizes, propagation volume (see EngineMetrics). The
+// bundle is purely observational — results, rng streams, and the
+// zero-allocation round loop are untouched — so the same m can be
+// shared across runs to accumulate a workload profile. Only the
+// simulator engines record; the non-beeping baselines and the
+// goroutine-per-node runtime leave m unchanged.
+func WithMetrics(m *EngineMetrics) Option {
+	return func(o *solveOptions) { o.metrics = m }
 }
 
 // WithConcurrentEngine runs beeping algorithms on the goroutine-per-node
@@ -361,6 +383,7 @@ func Solve(g *Graph, algo Algorithm, opts ...Option) (*Result, error) {
 			Shards:       o.shards,
 			MemoryBudget: o.memoryBudget,
 			Faults:       o.faults,
+			Metrics:      o.metrics,
 		}
 		var verifier *fault.Verifier
 		if o.faults.Enabled() {

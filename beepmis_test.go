@@ -180,3 +180,46 @@ func TestSolveZeroVertexGraph(t *testing.T) {
 		}
 	}
 }
+
+// TestSolveWithMetrics: the telemetry bundle records the run without
+// changing it, and accumulates across runs when shared.
+func TestSolveWithMetrics(t *testing.T) {
+	g := GNP(90, 0.4, 6)
+	plain, err := Solve(g, AlgorithmFeedback, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &EngineMetrics{}
+	res, err := Solve(g, AlgorithmFeedback, WithSeed(11), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != plain.Rounds || res.TotalBeeps != plain.TotalBeeps {
+		t.Fatalf("metrics changed the result: %+v vs %+v", res, plain)
+	}
+	if got := m.Rounds.Value(); got != uint64(res.Rounds) {
+		t.Fatalf("metrics rounds %d, want %d", got, res.Rounds)
+	}
+	if m.Runs.Value() != 1 {
+		t.Fatalf("metrics runs %d, want 1", m.Runs.Value())
+	}
+	totals := m.PhaseTotals()
+	if totals["propagate"] <= 0 || totals["eligible_draw"] <= 0 {
+		t.Fatalf("phase totals recorded no time: %v", totals)
+	}
+	// The same bundle keeps counting across a second run.
+	if _, err := Solve(g, AlgorithmFeedback, WithSeed(12), WithMetrics(m)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs.Value() != 2 {
+		t.Fatalf("shared bundle runs %d, want 2", m.Runs.Value())
+	}
+	// Non-simulator paths accept the option and leave the bundle alone.
+	idle := &EngineMetrics{}
+	if _, err := Solve(g, AlgorithmGreedy, WithMetrics(idle)); err != nil {
+		t.Fatal(err)
+	}
+	if idle.Runs.Value() != 0 || idle.Rounds.Value() != 0 {
+		t.Fatalf("greedy touched the metrics bundle: runs=%d rounds=%d", idle.Runs.Value(), idle.Rounds.Value())
+	}
+}

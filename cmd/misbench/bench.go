@@ -11,6 +11,7 @@ import (
 	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/mis"
+	"beepmis/internal/obs"
 	"beepmis/internal/rng"
 	"beepmis/internal/sim"
 )
@@ -53,10 +54,21 @@ type benchRecord struct {
 	Beeps      float64     `json:"beeps"`
 	NsPerRound float64     `json:"ns_per_round"`
 	NsPerRun   float64     `json:"ns_per_run"`
-	HeapMB     float64     `json:"heap_mb"`
-	GoVersion  string      `json:"goversion"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	Timestamp  string      `json:"timestamp"` // ISO-8601 (RFC 3339), UTC
+	// PhaseNs breaks ns_per_run down by round phase (faults,
+	// eligible_draw, beep_tally, propagate, join, observe): total
+	// nanoseconds across all runs, from the same per-phase clock the
+	// /metrics exposition uses. omitempty keeps baselines that predate
+	// the field byte-compatible, and the regression-gate key ignores it.
+	PhaseNs    map[string]int64 `json:"phase_ns,omitempty"`
+	HeapMB     float64          `json:"heap_mb"`
+	GoVersion  string           `json:"goversion"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	// NumCPU is the machine's core count (GoMaxProcs is the budget the
+	// process was granted; NumCPU is what the hardware offers) — stamped
+	// so trajectory records from differently-sized machines are
+	// distinguishable.
+	NumCPU    int    `json:"numcpu,omitempty"`
+	Timestamp string `json:"timestamp"` // ISO-8601 (RFC 3339), UTC
 }
 
 // collectEngineBench times whole simulation runs of the feedback
@@ -125,7 +137,13 @@ func collectEngineBench(wl *benchWorkload, p float64, runs int, seed uint64, eng
 	effectiveShards := sim.EffectiveShards(shards)
 	records := make([]benchRecord, 0, len(engines))
 	for _, e := range engines {
-		opts := sim.Options{Engine: e, Shards: shards, MemoryBudget: memBudget, Faults: faults}
+		// A fresh bundle per engine so phase_ns attributes each record's
+		// own runs. The per-round clock costs a handful of monotonic
+		// clock reads against thousands of ns of simulation work, and the
+		// recording path never allocates or touches rng — results and
+		// steady-state allocation behaviour are identical with it on.
+		metrics := &obs.EngineMetrics{}
+		opts := sim.Options{Engine: e, Shards: shards, MemoryBudget: memBudget, Faults: faults, Metrics: metrics}
 		recShards := 1
 		if e == sim.EngineColumnar || e == sim.EngineSparse {
 			recShards = effectiveShards
@@ -179,9 +197,11 @@ func collectEngineBench(wl *benchWorkload, p float64, runs int, seed uint64, eng
 			Beeps:       beeps / float64(runs),
 			NsPerRound:  float64(elapsed.Nanoseconds()) / rounds,
 			NsPerRun:    float64(elapsed.Nanoseconds()) / float64(runs),
+			PhaseNs:     metrics.PhaseTotals(),
 			HeapMB:      float64(ms.HeapAlloc) / (1 << 20),
 			GoVersion:   runtime.Version(),
 			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
 			Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		})
 	}

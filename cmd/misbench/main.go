@@ -15,6 +15,8 @@
 //	                                        # million-node: scalar vs sparse only
 //	misbench -bench -json -faults '{"loss":0.05,"spurious":0.01}'
 //	                                        # noisy-channel overhead vs the clean baseline
+//	misbench -bench -cpuprofile cpu.pprof -memprofile heap.pprof -mutexprofile mutex.pprof
+//	                                        # profile the bench itself (go tool pprof)
 //
 // Trials run in parallel on a bounded worker pool; output is
 // bit-identical for any -workers value, any -engine choice, and any
@@ -58,7 +60,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("misbench", flag.ContinueOnError)
 	var (
 		list      = fs.Bool("list", false, "list experiment ids and exit")
@@ -83,10 +85,22 @@ func run(args []string, stdout io.Writer) error {
 		graphFile = fs.String("graphfile", "", "bench a graph streamed from this file (edge-list, .bel binary, or METIS — format inferred from the extension)")
 		asJSON    = fs.Bool("json", false, "emit -bench results as JSON records (engine, auto_engine, shards, rounds, ns/round, beeps, heap)")
 		faultsDoc = fs.String("faults", "", `fault-model JSON (e.g. '{"loss":0.05,"spurious":0.01}'): per-listener channel noise, wake schedules, outages — applied to every trial on every engine`)
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
+		memProf   = fs.String("memprofile", "", "write a post-GC heap profile to this file on exit")
+		mutexProf = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit (samples every event)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuProf, *memProf, *mutexProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	eng, err := sim.ParseEngine(*engine)
 	if err != nil {
 		return err

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles arms the requested pprof outputs (any subset of CPU,
+// heap, mutex — empty path means off) and returns a stop func that
+// flushes them. CPU profiling runs for the whole invocation; the heap
+// profile is taken after a final GC so it shows live memory, not run
+// garbage; mutex profiling samples every contention event (fraction 1)
+// because a bench invocation is short enough to afford full fidelity.
+func startProfiles(cpuPath, memPath, mutexPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	prevMutexFraction := 0
+	if mutexPath != "" {
+		prevMutexFraction = runtime.SetMutexProfileFraction(1)
+	}
+	stop := func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if memPath != "" {
+			keep(writeProfile(memPath, func(f *os.File) error {
+				runtime.GC()
+				return pprof.WriteHeapProfile(f)
+			}))
+		}
+		if mutexPath != "" {
+			keep(writeProfile(mutexPath, func(f *os.File) error {
+				return pprof.Lookup("mutex").WriteTo(f, 0)
+			}))
+			runtime.SetMutexProfileFraction(prevMutexFraction)
+		}
+		return firstErr
+	}
+	return stop, nil
+}
+
+func writeProfile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create profile %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write profile %s: %w", path, err)
+	}
+	return f.Close()
+}

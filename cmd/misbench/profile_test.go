@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	goruntime "runtime"
+	"testing"
+)
+
+// TestBenchRecordsPhaseBreakdown: every bench record carries the
+// per-phase nanosecond breakdown and the machine's core count, so the
+// trajectory files answer "where does the time go" without a profiler.
+func TestBenchRecordsPhaseBreakdown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append([]string{}, append(benchArgs, "-json")...), &out); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&out)
+	n := 0
+	for sc.Scan() {
+		var rec benchRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		n++
+		if rec.NumCPU != goruntime.NumCPU() {
+			t.Fatalf("engine %s numcpu %d, want %d", rec.Engine, rec.NumCPU, goruntime.NumCPU())
+		}
+		if rec.PhaseNs == nil {
+			t.Fatalf("engine %s record has no phase_ns: %+v", rec.Engine, rec)
+		}
+		for _, phase := range []string{"faults", "eligible_draw", "beep_tally", "propagate", "join", "observe"} {
+			if _, ok := rec.PhaseNs[phase]; !ok {
+				t.Fatalf("engine %s phase_ns missing %q: %v", rec.Engine, phase, rec.PhaseNs)
+			}
+		}
+		if rec.PhaseNs["propagate"] <= 0 || rec.PhaseNs["eligible_draw"] <= 0 {
+			t.Fatalf("engine %s phase_ns recorded no time on the hot phases: %v", rec.Engine, rec.PhaseNs)
+		}
+		// The phases partition the round loop, so their sum cannot exceed
+		// the measured wall time of the runs.
+		var sum int64
+		for _, ns := range rec.PhaseNs {
+			sum += ns
+		}
+		if total := int64(rec.NsPerRun * float64(rec.Runs)); sum > total {
+			t.Fatalf("engine %s phase_ns sums to %d ns > wall %d ns", rec.Engine, sum, total)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no bench records")
+	}
+}
+
+// TestProfileFlags: each -xprofile flag writes a non-empty pprof file.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "heap.pprof")
+	mutex := filepath.Join(dir, "mutex.pprof")
+	args := append([]string{}, append(benchArgs,
+		"-engine", "columnar", "-cpuprofile", cpu, "-memprofile", mem, "-mutexprofile", mutex)...)
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, mutex} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	if err := run([]string{"-list", "-cpuprofile", filepath.Join(dir, "missing", "cpu.pprof")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unwritable -cpuprofile path accepted")
+	}
+}

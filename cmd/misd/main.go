@@ -15,6 +15,14 @@
 //	curl localhost:8080/v1/scenarios/<id>/result
 //	curl -N localhost:8080/v1/scenarios/<id>/events
 //
+// Operational surface (beside the /v1 API):
+//
+//	GET /metrics    Prometheus text exposition: engine phase timings,
+//	                service queue/cache/latency telemetry, Go runtime
+//	GET /buildinfo  go version, VCS revision, dirty flag
+//	GET /debug/vars expvar (JSON mirror of the exposition, plus cmdline)
+//	/debug/pprof/*  profiling endpoints, only with -pprof
+//
 // Specs may carry a "faults" block (channel noise, adversarial wake-up,
 // transient outages — see internal/fault); it changes results, so it is
 // part of the content hash, and every noisy run is checked round by
@@ -38,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"beepmis/internal/obs"
 	"beepmis/internal/service"
 )
 
@@ -61,6 +70,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		queue    = fs.Int("queue", 64, "queued-scenario bound (beyond it submissions get 429)")
 		trialWrk = fs.Int("trial-workers", 0, "per-scenario trial pool override (0 = honour each spec)")
 		grace    = fs.Duration("grace", 30*time.Second, "graceful shutdown budget")
+		pprofOn  = fs.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, mutex profiles) on the same port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,8 +87,17 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 		return fmt.Errorf("-trial-workers must be ≥ 0 (got %d)", *trialWrk)
 	}
 
-	mgr := service.New(service.Options{Workers: *jobs, QueueCap: *queue, TrialWorkers: *trialWrk})
-	server := &http.Server{Handler: mgr.Handler()}
+	serviceMetrics := &obs.ServiceMetrics{}
+	engineMetrics := &obs.EngineMetrics{}
+	mgr := service.New(service.Options{
+		Workers:       *jobs,
+		QueueCap:      *queue,
+		TrialWorkers:  *trialWrk,
+		Metrics:       serviceMetrics,
+		EngineMetrics: engineMetrics,
+	})
+	reg := newRegistry(serviceMetrics, engineMetrics)
+	server := &http.Server{Handler: rootHandler(mgr, reg, *pprofOn)}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

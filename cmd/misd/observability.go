@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+
+	"beepmis/internal/obs"
+	"beepmis/internal/service"
+)
+
+// newRegistry assembles the process's metric families: the service
+// bundle, the engine bundle aggregated across every job the manager
+// runs, and the Go-runtime gauges.
+func newRegistry(sm *obs.ServiceMetrics, em *obs.EngineMetrics) *obs.Registry {
+	reg := obs.NewRegistry()
+	em.Register(reg)
+	sm.Register(reg)
+	obs.RegisterRuntime(reg)
+	return reg
+}
+
+// rootHandler composes the full HTTP surface: the /v1 job API, the
+// Prometheus exposition, build information, expvar, and (opt-in) the
+// pprof endpoints. pprof is flag-gated because profile endpoints let
+// any client with network reach burn CPU (30-second profiles) and read
+// process internals — reasonable on a lab port, not as a default.
+func rootHandler(mgr *service.Manager, reg *obs.Registry, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", mgr.Handler())
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /buildinfo", handleBuildInfo)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// buildInfo is the /buildinfo body: enough to answer "what exactly is
+// this binary" from a running deployment.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"`
+	Dirty     bool   `json:"dirty"`
+}
+
+func handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	info := buildInfo{}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.GoVersion = bi.GoVersion
+		info.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.time":
+				info.Time = s.Value
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(payload)
+}

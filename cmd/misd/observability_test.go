@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"beepmis/internal/obs"
+)
+
+// bootServer starts the real binary path on an ephemeral port and
+// returns its base URL plus a shutdown func.
+func bootServer(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-grace", "5s"}, args...), io.Discard, func(a net.Addr) { addrCh <- a })
+	}()
+	select {
+	case a := <-addrCh:
+		return fmt.Sprintf("http://%s", a), func() {
+			cancel()
+			<-errCh
+		}
+	case err := <-errCh:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+	panic("unreachable")
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestObservabilityEndpoints is the metrics smoke CI runs under -race:
+// boot with pprof on, execute the golden quickstart scenario, then
+// assert the whole operational surface — the Prometheus exposition
+// parses and carries non-zero engine and service counters, buildinfo
+// answers, expvar answers, pprof answers, and readiness is green.
+func TestObservabilityEndpoints(t *testing.T) {
+	spec, err := os.ReadFile("../../scenarios/quickstart.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown := bootServer(t, "-pprof")
+	defer shutdown()
+
+	// Run the golden scenario so the engine counters have something to say.
+	resp, err := http.Post(base+"/v1/scenarios", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, _ := get(t, base+"/v1/scenarios/"+sub.ID+"/result")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("golden scenario never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text: %v", err)
+	}
+	for _, name := range []string{
+		"beepmis_engine_rounds_total",
+		"beepmis_engine_runs_total",
+		"beepmis_service_jobs_done_total",
+		"beepmis_service_cache_misses_total",
+	} {
+		v, ok := obs.SampleValue(body, name, "")
+		if !ok {
+			t.Fatalf("/metrics missing %s:\n%s", name, body)
+		}
+		if v <= 0 {
+			t.Fatalf("%s = %v after a completed scenario, want > 0", name, v)
+		}
+	}
+	if _, ok := obs.SampleValue(body, "beepmis_engine_phase_duration_ns_count", `phase="propagate"`); !ok {
+		t.Fatal("/metrics missing the propagate phase histogram")
+	}
+	if _, ok := obs.SampleValue(body, "go_goroutines", ""); !ok {
+		t.Fatal("/metrics missing the Go runtime family")
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: %d", code)
+	}
+	var series []map[string]any
+	if err := json.Unmarshal(body, &series); err != nil || len(series) == 0 {
+		t.Fatalf("/metrics.json: %v (%d series)", err, len(series))
+	}
+
+	code, body = get(t, base+"/buildinfo")
+	if code != http.StatusOK {
+		t.Fatalf("/buildinfo: %d", code)
+	}
+	var bi struct {
+		GoVersion string `json:"go_version"`
+		Module    string `json:"module"`
+	}
+	if err := json.Unmarshal(body, &bi); err != nil {
+		t.Fatal(err)
+	}
+	if bi.GoVersion == "" || bi.Module != "beepmis" {
+		t.Fatalf("buildinfo = %s", body)
+	}
+
+	if code, _ := get(t, base+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline with -pprof: %d", code)
+	}
+	if code, _ := get(t, base+"/v1/readyz"); code != http.StatusOK {
+		t.Fatalf("/v1/readyz: %d", code)
+	}
+}
+
+// TestPprofGatedByFlag: without -pprof the profile endpoints must not
+// exist — they are an operational risk surface, not a default.
+func TestPprofGatedByFlag(t *testing.T) {
+	base, shutdown := bootServer(t)
+	defer shutdown()
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/cmdline without -pprof: %d, want 404", code)
+	}
+	// The rest of the operational surface stays on.
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics without -pprof: %d", code)
+	}
+	if code, _ := get(t, base+"/buildinfo"); code != http.StatusOK {
+		t.Fatalf("/buildinfo without -pprof: %d", code)
+	}
+}

@@ -12,6 +12,7 @@
 //	misrun -graph gnp -n 500 -algo feedback -faults '{"loss":0.05,"wake":{"kind":"uniform","window":12}}'
 //	misrun -scenario scenarios/quickstart.json
 //	misrun -scenario sweep.json -hash
+//	misrun -scenario scenarios/quickstart.json -metrics 2>telemetry.json
 //
 // A scenario run prints exactly the bytes a misd server would cache and
 // serve for the same spec (the result JSON is a pure function of the
@@ -29,6 +30,7 @@ import (
 	"beepmis"
 	"beepmis/internal/fault"
 	"beepmis/internal/graph"
+	"beepmis/internal/obs"
 	"beepmis/internal/scenario"
 	"beepmis/internal/sim"
 )
@@ -41,6 +43,15 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	return runTo(args, stdout, os.Stderr)
+}
+
+// runTo is run with the -metrics destination explicit. Telemetry goes
+// to stderr by design: a -scenario run's stdout is the canonical result
+// JSON (byte-identical to what misd serves for the same spec), and the
+// one-graph report is likewise parseable, so observability output must
+// ride a different stream.
+func runTo(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("misrun", flag.ContinueOnError)
 	var (
 		graphKind = fs.String("graph", "gnp", "graph family: gnp, grid, complete, cliques, unitdisk, or file")
@@ -60,9 +71,14 @@ func run(args []string, stdout io.Writer) error {
 		faultsDoc = fs.String("faults", "", `fault-model JSON (e.g. '{"loss":0.05,"spurious":0.01,"wake":{"kind":"uniform","window":12}}'): channel noise, wake schedules, outages`)
 		scenarioF = fs.String("scenario", "", "run a declarative scenario spec file and print its result JSON")
 		hashOnly  = fs.Bool("hash", false, "with -scenario: print the spec's content hash and exit")
+		metricsOn = fs.Bool("metrics", false, "after the run, dump engine telemetry (phase timings, frontier sizes, propagation volume) as JSON to stderr; stdout is untouched")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var metrics *obs.EngineMetrics
+	if *metricsOn {
+		metrics = &obs.EngineMetrics{}
 	}
 	if *scenarioF != "" {
 		// The one-graph flags describe a workload the scenario file
@@ -70,7 +86,7 @@ func run(args []string, stdout io.Writer) error {
 		var conflict string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "hash":
+			case "scenario", "hash", "metrics":
 			default:
 				conflict = f.Name
 			}
@@ -78,7 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		if conflict != "" {
 			return fmt.Errorf("-scenario conflicts with -%s (the spec file describes the whole workload)", conflict)
 		}
-		return runScenario(*scenarioF, *hashOnly, stdout)
+		return runScenario(*scenarioF, *hashOnly, metrics, stdout, stderr)
 	}
 	if *hashOnly {
 		return fmt.Errorf("-hash requires -scenario")
@@ -98,6 +114,9 @@ func run(args []string, stdout io.Writer) error {
 	opts := []beepmis.Option{beepmis.WithSeed(*seed + 1), beepmis.WithMaxRounds(*maxRounds)}
 	if *shards != 0 {
 		opts = append(opts, beepmis.WithShards(*shards))
+	}
+	if metrics != nil {
+		opts = append(opts, beepmis.WithMetrics(metrics))
 	}
 	var breakable bool
 	if *faultsDoc != "" {
@@ -160,12 +179,12 @@ func run(args []string, stdout io.Writer) error {
 	if *showSet {
 		fmt.Fprintf(stdout, "set: %v\n", graph.SetToList(res.InMIS))
 	}
-	return nil
+	return dumpMetrics(metrics, stderr)
 }
 
 // runScenario executes (or just hashes) a scenario spec file, printing
 // the same result bytes a misd server caches for the spec.
-func runScenario(path string, hashOnly bool, stdout io.Writer) error {
+func runScenario(path string, hashOnly bool, metrics *obs.EngineMetrics, stdout, stderr io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open scenario: %w", err)
@@ -179,11 +198,25 @@ func runScenario(path string, hashOnly bool, stdout io.Writer) error {
 		fmt.Fprintln(stdout, compiled.Hash)
 		return nil
 	}
-	report, err := scenario.Run(context.Background(), compiled, scenario.RunOptions{})
+	report, err := scenario.Run(context.Background(), compiled, scenario.RunOptions{Metrics: metrics})
 	if err != nil {
 		return err
 	}
-	return report.WriteJSON(stdout)
+	if err := report.WriteJSON(stdout); err != nil {
+		return err
+	}
+	return dumpMetrics(metrics, stderr)
+}
+
+// dumpMetrics renders the engine bundle's registry as JSON on stderr
+// (no-op when -metrics was not given).
+func dumpMetrics(metrics *obs.EngineMetrics, stderr io.Writer) error {
+	if metrics == nil {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	metrics.Register(reg)
+	return reg.WriteJSON(stderr)
 }
 
 func buildGraph(kind string, n int, p float64, rows, cols int, radius float64, in string, seed uint64) (*beepmis.Graph, error) {

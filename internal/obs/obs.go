@@ -1,0 +1,197 @@
+// Package obs is the simulator's dependency-free observability core: a
+// handful of lock-free metric primitives (Counter, Gauge, Histogram)
+// whose record operations are wait-free single atomics and never
+// allocate — safe to call from the engine's zero-allocation round loop
+// and from every service goroutine — plus a Registry that exposes the
+// recorded values as Prometheus text exposition and as JSON.
+//
+// The discipline is deliberately asymmetric: registration and scraping
+// may allocate (they happen at setup and on /metrics requests), but the
+// hot path — Counter.Add, Gauge.Set, Histogram.Observe — must not. The
+// engine's per-round instrumentation rides on exactly that guarantee:
+// enabling metrics cannot perturb the steady-state allocation profile
+// the alloc-diff tests enforce, and since no metric touches an rng
+// stream, it provably cannot perturb results either.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; all methods are safe for concurrent callers and allocate
+// nothing.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 — queue depths, subscriber counts, anything
+// that goes both up and down. The zero value is ready to use; all
+// methods are safe for concurrent callers and allocate nothing.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistogramBuckets is the fixed bucket count of every Histogram: bucket
+// i holds observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i). 48 buckets cover 0 ns through ~2^46 ns (about 20
+// hours), far past any phase or latency this system records.
+const HistogramBuckets = 48
+
+// Histogram counts non-negative integer observations (by convention
+// nanoseconds, but any unit works — frontier sizes use it too) into
+// fixed power-of-two boundaries. Fixed boundaries are the whole design:
+// no per-histogram configuration means snapshots from any two
+// histograms merge bucket-by-bucket (per-shard, per-worker, or
+// per-process aggregation is one loop), and recording is one
+// bits.Len64 plus three wait-free atomic adds — no locks, no
+// allocation, no comparison ladder. The price is resolution: a bucket
+// spans a factor of two, which is exactly enough to answer "where did
+// the time go" questions without ever being a hot-path cost.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [HistogramBuckets]atomic.Uint64
+}
+
+// bucketOf returns the bucket index of an observation: bits.Len64
+// clamped to the fixed range. Negative observations clamp to zero (the
+// only negative durations this system could see are clock steps, and a
+// histogram full of panic is worse than a histogram with a zero).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistogramBuckets {
+		return HistogramBuckets - 1
+	}
+	return b
+}
+
+// Observe records one observation. Wait-free, allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Snapshot returns a consistent-enough copy of the histogram for
+// exposition or merging. (Individual loads are atomic; a snapshot taken
+// during concurrent observation may be mid-update by a count, which is
+// fine for monitoring and irrelevant once recording has stopped.)
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram's state.
+// Snapshots from any two histograms merge bucket-by-bucket because
+// every histogram shares the same fixed boundaries.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [HistogramBuckets]uint64
+}
+
+// Merge folds o into s.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i:
+// 2^i - 1 (bucket 0 holds only zero). These are the `le` boundaries the
+// Prometheus exposition prints.
+func BucketUpperBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the bucket the rank falls in — the standard
+// fixed-bucket estimate, accurate to a factor of two by construction.
+// Returns 0 with no observations.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			hi := float64(BucketUpperBound(i))
+			if frac := (rank - seen) / float64(c); frac > 0 {
+				return lo + (hi-lo)*frac
+			}
+			return lo
+		}
+		seen += float64(c)
+	}
+	return float64(BucketUpperBound(HistogramBuckets - 1))
+}

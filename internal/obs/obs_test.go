@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	// One observation per bucket boundary neighbourhood.
+	for _, v := range []int64{0, 1, 2, 3, 4, 1023, 1024, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+4+1023+1024+0 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	s := h.Snapshot()
+	// bucketOf: 0→0, 1→1, 2,3→2, 4→3, 1023→10, 1024→11, -5→0.
+	wantBuckets := map[int]uint64{0: 2, 1: 1, 2: 2, 3: 1, 10: 1, 11: 1}
+	for i, c := range s.Buckets {
+		if c != wantBuckets[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, wantBuckets[i])
+		}
+	}
+}
+
+func TestHistogramMergeAndQuantile(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(100) // bucket 7: [64,127]
+	}
+	for i := 0; i < 100; i++ {
+		b.Observe(100000) // bucket 17
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", sa.Count)
+	}
+	if sa.Sum != 100*100+100*100000 {
+		t.Fatalf("merged sum = %d", sa.Sum)
+	}
+	// Median sits in the low bucket, p99 in the high one — the factor-of
+	// -two resolution guarantee, not exact values.
+	if p50 := sa.Quantile(0.5); p50 < 64 || p50 > 127 {
+		t.Fatalf("p50 = %v, want within [64,127]", p50)
+	}
+	if p99 := sa.Quantile(0.99); p99 < 65536 || p99 > 131071 {
+		t.Fatalf("p99 = %v, want within [65536,131071]", p99)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	if m := empty.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	s := h.Snapshot()
+	if s.Buckets[HistogramBuckets-1] != 1 {
+		t.Fatalf("MaxInt64 not clamped to the last bucket: %+v", s.Buckets)
+	}
+	if BucketUpperBound(0) != 0 || BucketUpperBound(1) != 1 || BucketUpperBound(10) != 1023 {
+		t.Fatal("bucket upper bounds moved")
+	}
+}
+
+// TestRecordAllocations pins the package's core guarantee: the hot-path
+// record operations allocate nothing. The engine's zero-steady-state
+// -allocation round loop depends on it.
+func TestRecordAllocations(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	var m EngineMetrics
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(12)
+		g.Add(-1)
+		h.Observe(12345)
+		m.ObservePhase(PhasePropagate, 999)
+		m.Frontier.Observe(64)
+	}); allocs != 0 {
+		t.Fatalf("record path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i))
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Fatalf("lost updates: hist %d, counter %d", h.Count(), c.Value())
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := []string{"faults", "eligible_draw", "beep_tally", "propagate", "join", "observe"}
+	for p := Phase(0); p < PhaseCount; p++ {
+		if p.String() != want[p] {
+			t.Fatalf("phase %d = %q, want %q", p, p, want[p])
+		}
+	}
+	if Phase(200).String() != "unknown" {
+		t.Fatal("out-of-range phase should stringify as unknown")
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	var m EngineMetrics
+	m.ObservePhase(PhasePropagate, 100)
+	m.ObservePhase(PhasePropagate, 50)
+	m.ObservePhase(PhaseObserve, 7)
+	totals := m.PhaseTotals()
+	if totals["propagate"] != 150 || totals["observe"] != 7 || totals["faults"] != 0 {
+		t.Fatalf("totals = %v", totals)
+	}
+	if len(totals) != int(PhaseCount) {
+		t.Fatalf("totals has %d keys, want %d", len(totals), PhaseCount)
+	}
+	var nilM *EngineMetrics
+	nilM.ObservePhase(PhaseJoin, 5) // must not panic
+	if nilM.PhaseTotals() != nil {
+		t.Fatal("nil metrics should return nil totals")
+	}
+}

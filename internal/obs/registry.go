@@ -1,0 +1,397 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is a metric family's Prometheus type.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a bucketed distribution.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// series is one (labels, source) pair inside a family. Exactly one of
+// counter/gauge/gaugeFn/hist is set, matching the family's kind.
+type series struct {
+	labels  string // `phase="draw"` form, without braces; "" for none
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// family is a named metric with one or more labelled series. HELP and
+// TYPE are per family, which is why registration groups series under
+// their bare name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	series []series
+}
+
+// Registry holds metric families for exposition. Registration and
+// scraping take the registry mutex and may allocate; the metrics
+// themselves are the lock-free primitives of this package, so recording
+// never touches the registry at all. The zero value is not usable —
+// call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	index    map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*family)}
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*$`)
+)
+
+// register validates and attaches one series. Misregistration (bad
+// name, kind conflict, duplicate series) is a programming error at
+// process setup, so it panics rather than returning an error every
+// caller would have to ignore.
+func (r *Registry) register(name, labels, help string, kind Kind, s series) {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if labels != "" && !labelRe.MatchString(labels) {
+		panic(fmt.Sprintf("obs: invalid label set %q for metric %q", labels, name))
+	}
+	s.labels = labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.index[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.index[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %v and %v", name, f.kind, kind))
+	}
+	for _, existing := range f.series {
+		if existing.labels == labels {
+			panic(fmt.Sprintf("obs: duplicate series %q{%s}", name, labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// RegisterCounter exposes c under name with the given label set
+// (`key="value",...` without braces; "" for an unlabelled series).
+func (r *Registry) RegisterCounter(name, labels, help string, c *Counter) {
+	r.register(name, labels, help, KindCounter, series{counter: c})
+}
+
+// RegisterGauge exposes g under name.
+func (r *Registry) RegisterGauge(name, labels, help string, g *Gauge) {
+	r.register(name, labels, help, KindGauge, series{gauge: g})
+}
+
+// RegisterGaugeFunc exposes fn's return value under name, evaluated at
+// scrape time — the escape hatch for values owned elsewhere (runtime
+// memstats, pool lengths).
+func (r *Registry) RegisterGaugeFunc(name, labels, help string, fn func() float64) {
+	r.register(name, labels, help, KindGauge, series{gaugeFn: fn})
+}
+
+// RegisterHistogram exposes h under name.
+func (r *Registry) RegisterHistogram(name, labels, help string, h *Histogram) {
+	r.register(name, labels, help, KindHistogram, series{hist: h})
+}
+
+// fmtFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (s *series) scalarValue() float64 {
+	switch {
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	case s.gauge != nil:
+		return float64(s.gauge.Value())
+	case s.gaugeFn != nil:
+		return s.gaugeFn()
+	}
+	return 0
+}
+
+// joinLabels merges a series' label set with one extra pair (used for
+// histogram `le` labels).
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	if extra == "" {
+		return labels
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): HELP and TYPE lines per family,
+// then one sample line per series — histograms as cumulative
+// `_bucket{le=...}` samples plus `_sum` and `_count`. Families appear
+// in registration order, so output is deterministic for a fixed
+// registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for i := range f.series {
+			s := &f.series[i]
+			if f.kind == KindHistogram {
+				if err := writeHistogram(w, f.name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writeSample(w, f.name, s.labels, fmtFloat(s.scalarValue())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name, labels, value string) error {
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	}
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// power-of-two upper bounds, skipping interior empty runs (the +Inf
+// bucket and any non-empty bucket always print, so the exposition stays
+// both valid and compact — 48 mostly-zero lines per histogram would
+// drown the families that matter).
+func writeHistogram(w io.Writer, name string, s *series) error {
+	snap := s.hist.Snapshot()
+	var cum uint64
+	for i, c := range snap.Buckets {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		le := fmt.Sprintf(`le="%s"`, fmtFloat(float64(BucketUpperBound(i))))
+		if err := writeSample(w, name+"_bucket", joinLabels(s.labels, le), strconv.FormatUint(cum, 10)); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name+"_bucket", joinLabels(s.labels, `le="+Inf"`), strconv.FormatUint(snap.Count, 10)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", s.labels, strconv.FormatUint(snap.Sum, 10)); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", s.labels, strconv.FormatUint(snap.Count, 10))
+}
+
+// jsonMetric is one series in the JSON exposition.
+type jsonMetric struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Type   string  `json:"type"`
+	Value  float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Count uint64  `json:"count,omitempty"`
+	Sum   uint64  `json:"sum,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// WriteJSON renders every registered series as a JSON array (indented,
+// trailing newline) — the format misrun -metrics dumps and humans diff.
+// Histograms carry count/sum/mean and interpolated p50/p95/p99 instead
+// of raw buckets.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	out := make([]jsonMetric, 0, len(r.families))
+	for _, f := range r.families {
+		for i := range f.series {
+			s := &f.series[i]
+			m := jsonMetric{Name: f.name, Labels: s.labels, Type: f.kind.String()}
+			if f.kind == KindHistogram {
+				snap := s.hist.Snapshot()
+				m.Count, m.Sum, m.Mean = snap.Count, snap.Sum, snap.Mean()
+				m.P50, m.P95, m.P99 = snap.Quantile(0.50), snap.Quantile(0.95), snap.Quantile(0.99)
+			} else {
+				m.Value = s.scalarValue()
+			}
+			out = append(out, m)
+		}
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// sampleRe matches one Prometheus sample line: a metric name, an
+// optional label set, and a value. ValidateExposition uses it; scrape
+// tests and the CI smoke assert endpoints through it.
+var sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? -?[0-9+.eEInfNa]+$`)
+
+// ValidateExposition checks that b parses as Prometheus text exposition
+// format: every line is a comment, blank, or a well-formed sample whose
+// value parses as a float, and every sample's family name was announced
+// by a preceding TYPE line. It returns the first violation — the
+// tripwire the CI metrics smoke and the endpoint tests fail on if an
+// exposition change breaks scrapability.
+func ValidateExposition(b []byte) error {
+	typed := make(map[string]bool)
+	for ln, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("obs: line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("obs: line %d: unknown metric type %q", ln+1, fields[3])
+			}
+			typed[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			return fmt.Errorf("obs: line %d: malformed sample %q", ln+1, line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && typed[strings.TrimSuffix(name, suffix)] {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if !typed[base] {
+			return fmt.Errorf("obs: line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		value := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("obs: line %d: unparseable value %q", ln+1, value)
+		}
+	}
+	return nil
+}
+
+// SampleValue extracts the value of the first sample line in b whose
+// name (and, when given, label subset) matches — a test helper for
+// asserting scraped endpoints without a client library. The labels
+// argument is matched as a substring of the sample's label block.
+func SampleValue(b []byte, name, labels string) (float64, bool) {
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(rest, " "):
+			if labels != "" {
+				continue
+			}
+		case strings.HasPrefix(rest, "{"):
+			end := strings.IndexByte(rest, '}')
+			if end < 0 || !strings.Contains(rest[:end], labels) {
+				continue
+			}
+			rest = rest[end+1:]
+		default:
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			continue
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// RegisterRuntime registers the Go-runtime family: goroutine count,
+// heap and cumulative allocation sizes, GC cycles and pause time, and
+// the scheduler's core budget. Values are read at scrape time from
+// runtime.ReadMemStats — a stop-the-world of microseconds, paid by the
+// scraper, never by the hot path.
+func RegisterRuntime(r *Registry) {
+	mem := func(read func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return read(&ms)
+		}
+	}
+	r.RegisterGaugeFunc("go_goroutines", "", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.RegisterGaugeFunc("go_memstats_heap_alloc_bytes", "", "Bytes of allocated heap objects.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	r.RegisterGaugeFunc("go_memstats_alloc_bytes_total", "", "Cumulative bytes allocated for heap objects.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.TotalAlloc) }))
+	r.RegisterGaugeFunc("go_memstats_gc_cpu_fraction", "", "Fraction of CPU time used by GC since the program started.",
+		mem(func(ms *runtime.MemStats) float64 { return ms.GCCPUFraction }))
+	r.RegisterGaugeFunc("go_gc_cycles_total", "", "Completed GC cycles.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+	r.RegisterGaugeFunc("go_sched_gomaxprocs_threads", "", "The current runtime.GOMAXPROCS setting.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.RegisterGaugeFunc("process_cpu_count", "", "runtime.NumCPU() of the host.",
+		func() float64 { return float64(runtime.NumCPU()) })
+}

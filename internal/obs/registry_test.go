@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildRegistry(t *testing.T) (*Registry, *EngineMetrics, *ServiceMetrics) {
+	t.Helper()
+	r := NewRegistry()
+	var em EngineMetrics
+	var sm ServiceMetrics
+	em.Register(r)
+	sm.Register(r)
+	RegisterRuntime(r)
+	return r, &em, &sm
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r, em, sm := buildRegistry(t)
+	em.Rounds.Add(17)
+	em.ObservePhase(PhasePropagate, 1000)
+	em.ObservePhase(PhasePropagate, 2000)
+	em.Frontier.Observe(64)
+	sm.QueueDepth.Set(3)
+	sm.CacheHits.Add(5)
+	sm.QueueLatencyNs.Observe(1500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if err := ValidateExposition(b); err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, b)
+	}
+
+	if v, ok := SampleValue(b, "beepmis_engine_rounds_total", ""); !ok || v != 17 {
+		t.Fatalf("rounds_total = %v,%v, want 17", v, ok)
+	}
+	if v, ok := SampleValue(b, "beepmis_service_queue_depth", ""); !ok || v != 3 {
+		t.Fatalf("queue_depth = %v,%v, want 3", v, ok)
+	}
+	if v, ok := SampleValue(b, "beepmis_engine_phase_duration_ns_count", `phase="propagate"`); !ok || v != 2 {
+		t.Fatalf("propagate count = %v,%v, want 2", v, ok)
+	}
+	if v, ok := SampleValue(b, "beepmis_engine_phase_duration_ns_sum", `phase="propagate"`); !ok || v != 3000 {
+		t.Fatalf("propagate sum = %v,%v, want 3000", v, ok)
+	}
+	// Cumulative bucket semantics: 1000 and 2000 both land at or below
+	// le=2047 (bucket 11).
+	if v, ok := SampleValue(b, "beepmis_engine_phase_duration_ns_bucket", `phase="propagate",le="2047"`); !ok || v != 2 {
+		t.Fatalf("propagate le=2047 bucket = %v,%v, want 2", v, ok)
+	}
+	if v, ok := SampleValue(b, "beepmis_engine_phase_duration_ns_bucket", `phase="propagate",le="+Inf"`); !ok || v != 2 {
+		t.Fatalf("propagate +Inf bucket = %v,%v, want 2", v, ok)
+	}
+	// Runtime families must be present and sane.
+	if v, ok := SampleValue(b, "go_goroutines", ""); !ok || v < 1 {
+		t.Fatalf("go_goroutines = %v,%v", v, ok)
+	}
+	if v, ok := SampleValue(b, "go_sched_gomaxprocs_threads", ""); !ok || v < 1 {
+		t.Fatalf("gomaxprocs = %v,%v", v, ok)
+	}
+	// TYPE comes once per family even with six phase series.
+	if n := strings.Count(buf.String(), "# TYPE beepmis_engine_phase_duration_ns "); n != 1 {
+		t.Fatalf("phase family announced %d times, want 1", n)
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r, em, _ := buildRegistry(t)
+	em.Runs.Add(2)
+	em.Frontier.Observe(100)
+	em.Frontier.Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var metrics []struct {
+		Name  string  `json:"name"`
+		Type  string  `json:"type"`
+		Value float64 `json:"value"`
+		Count uint64  `json:"count"`
+		Mean  float64 `json:"mean"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &metrics); err != nil {
+		t.Fatalf("JSON exposition does not decode: %v", err)
+	}
+	byName := map[string][]int{}
+	for i, m := range metrics {
+		byName[m.Name] = append(byName[m.Name], i)
+	}
+	runs := metrics[byName["beepmis_engine_runs_total"][0]]
+	if runs.Type != "counter" || runs.Value != 2 {
+		t.Fatalf("runs metric = %+v", runs)
+	}
+	frontier := metrics[byName["beepmis_engine_frontier_size"][0]]
+	if frontier.Type != "histogram" || frontier.Count != 2 || frontier.Mean != 100 {
+		t.Fatalf("frontier metric = %+v", frontier)
+	}
+	if len(byName["beepmis_engine_phase_duration_ns"]) != int(PhaseCount) {
+		t.Fatalf("phase series count = %d, want %d", len(byName["beepmis_engine_phase_duration_ns"]), PhaseCount)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	var c Counter
+	var g Gauge
+	r := NewRegistry()
+	r.RegisterCounter("ok_total", "", "", &c)
+	mustPanic("invalid name", func() { r.RegisterCounter("bad name", "", "", &c) })
+	mustPanic("invalid labels", func() { r.RegisterCounter("ok2_total", `bad label`, "", &c) })
+	mustPanic("kind conflict", func() { r.RegisterGauge("ok_total", "", "", &g) })
+	mustPanic("duplicate series", func() { r.RegisterCounter("ok_total", "", "", &c) })
+	// Same name with distinct labels is fine — that's a labelled family.
+	r.RegisterCounter("labelled_total", `k="a"`, "", &c)
+	r.RegisterCounter("labelled_total", `k="b"`, "", &c)
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"sample without TYPE", "orphan_metric 1\n"},
+		{"malformed sample", "# TYPE x counter\nx{unterminated 1\n"},
+		{"bad value", "# TYPE x counter\nx notanumber\n"},
+		{"bad type", "# TYPE x widget\nx 1\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidateExposition([]byte(tc.text)); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	good := "# HELP x help text\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 2\nx_sum 10\nx_count 2\n\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}

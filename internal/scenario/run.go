@@ -12,6 +12,7 @@ import (
 	"beepmis/internal/experiment"
 	"beepmis/internal/fault"
 	"beepmis/internal/graph"
+	"beepmis/internal/obs"
 	"beepmis/internal/rng"
 	"beepmis/internal/sim"
 	"beepmis/internal/stats"
@@ -77,6 +78,12 @@ type RunOptions struct {
 	Workers int
 	// Progress, when non-nil, receives events as the run advances.
 	Progress func(Event)
+	// Metrics, when non-nil, receives engine instrumentation from every
+	// trial (see sim.Options.Metrics). The bundle is lock-free, so one
+	// bundle safely aggregates across the parallel trial pool; recording
+	// never perturbs results, so the report bytes — and therefore the
+	// service's cache soundness — are unchanged.
+	Metrics *obs.EngineMetrics
 }
 
 // Agg is a deterministic aggregate over a unit's trials. Values are
@@ -211,7 +218,7 @@ func Run(ctx context.Context, c *Compiled, opts RunOptions) (*Report, error) {
 		if emit != nil {
 			emit(Event{Type: EventUnitStart, Unit: u.Index, Algorithm: u.Algorithm, N: u.N, P: u.P})
 		}
-		ur, err := runUnit(ctx, u, c.engine, master, cfg, emit)
+		ur, err := runUnit(ctx, u, c.engine, master, cfg, emit, opts.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +244,7 @@ type trialResult struct {
 	verified   bool
 }
 
-func runUnit(ctx context.Context, u *Unit, engine sim.Engine, master *rng.Source, cfg experiment.Config, emit func(Event)) (*UnitReport, error) {
+func runUnit(ctx context.Context, u *Unit, engine sim.Engine, master *rng.Source, cfg experiment.Config, emit func(Event), metrics *obs.EngineMetrics) (*UnitReport, error) {
 	spec := u.spec
 	trials := spec.Trials
 	slots := make([]trialResult, trials)
@@ -253,6 +260,7 @@ func runUnit(ctx context.Context, u *Unit, engine sim.Engine, master *rng.Source
 		Shards:    spec.Shards,
 		BeepLoss:  spec.BeepLoss,
 		Faults:    spec.Faults,
+		Metrics:   metrics,
 	}
 	// A parallel trial pool claims the cores, so an unset shard bound
 	// collapses to serial propagation — but only when there really are

@@ -21,11 +21,17 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/scenarios/{id}        job status
 //	GET  /v1/scenarios/{id}/result result JSON (the cached report bytes)
 //	GET  /v1/scenarios/{id}/events progress stream (server-sent events)
-//	GET  /v1/healthz               liveness + pool stats
+//	GET  /v1/healthz               liveness + pool stats (always 200 while serving)
+//	GET  /v1/readyz                readiness: 503 once shutdown has begun
 //
 // Submissions return 202 with the job snapshot (200 on a cache hit),
 // 400 on an invalid spec, and 429 when the queue is full — the
 // backpressure signal; clients should retry with backoff.
+//
+// Liveness and readiness are deliberately split: a draining instance is
+// alive (in-flight jobs are still finishing, results still servable)
+// but not ready (new submissions would be refused), so an orchestrator
+// should stop routing to it without killing it.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scenarios", m.handleSubmit)
@@ -34,6 +40,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios/{id}/result", m.handleResult)
 	mux.HandleFunc("GET /v1/scenarios/{id}/events", m.handleEvents)
 	mux.HandleFunc("GET /v1/healthz", m.handleHealth)
+	mux.HandleFunc("GET /v1/readyz", m.handleReady)
 	return mux
 }
 
@@ -162,6 +169,19 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m.StatsNow())
+}
+
+// readyResponse is the readiness body.
+type readyResponse struct {
+	Ready bool `json:"ready"`
+}
+
+func (m *Manager) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !m.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Ready: true})
 }
 
 // writeSSE emits one server-sent event with a JSON data payload.

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"beepmis/internal/obs"
 	"beepmis/internal/scenario"
 )
 
@@ -69,7 +70,10 @@ type Job struct {
 // status is carried by the job itself, never by history).
 const maxEventHistory = 1024
 
-// JobView is an immutable snapshot of a job for JSON responses.
+// JobView is an immutable snapshot of a job for JSON responses. The
+// original fields are byte-compatible across versions; Runs/QueueMs/
+// RunMs are additive (omitted at their zero values, so pre-existing
+// responses serialise identically).
 type JobView struct {
 	ID        string    `json:"id"`
 	Name      string    `json:"name,omitempty"`
@@ -80,6 +84,14 @@ type JobView struct {
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitzero"`
 	Finished  time.Time `json:"finished,omitzero"`
+	// Runs counts executions of this job (coalescing keeps it at 1; a
+	// larger value means eviction and resubmission re-executed it).
+	Runs int `json:"runs,omitempty"`
+	// QueueMs is the submit→start wall time in milliseconds, present
+	// once the job has started; RunMs is start→finish, present once it
+	// has finished.
+	QueueMs float64 `json:"queue_ms,omitempty"`
+	RunMs   float64 `json:"run_ms,omitempty"`
 }
 
 // Options configures a Manager. Zero values get sensible defaults.
@@ -102,11 +114,21 @@ type Options struct {
 	// results. An evicted scenario simply re-executes on resubmission;
 	// determinism guarantees the same bytes.
 	MaxJobs int
+	// Metrics receives the manager's telemetry (queue depth, latency
+	// histograms, cache and subscriber counters). Nil gets a private
+	// bundle, so the instrumentation points never branch; pass one to
+	// expose it on a registry.
+	Metrics *obs.ServiceMetrics
+	// EngineMetrics, when non-nil, is handed to every scenario run so
+	// engine-level instrumentation (per-phase timing, frontier sizes)
+	// aggregates across all jobs the manager executes.
+	EngineMetrics *obs.EngineMetrics
 }
 
 // Manager owns the job pool and the result cache.
 type Manager struct {
-	opts Options
+	opts    Options
+	metrics *obs.ServiceMetrics
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -135,13 +157,17 @@ func New(opts Options) *Manager {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = 1024
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = &obs.ServiceMetrics{}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		opts:   opts,
-		jobs:   make(map[string]*Job),
-		queue:  make(chan *Job, opts.QueueCap),
-		ctx:    ctx,
-		cancel: cancel,
+		opts:    opts,
+		metrics: opts.Metrics,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, opts.QueueCap),
+		ctx:     ctx,
+		cancel:  cancel,
 	}
 	m.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -161,6 +187,11 @@ func (m *Manager) Submit(compiled *scenario.Compiled) (*Job, bool, error) {
 		return nil, false, ErrClosed
 	}
 	if job, ok := m.jobs[compiled.Hash]; ok {
+		if job.status == StatusDone || job.status == StatusFailed {
+			m.metrics.CacheHits.Inc()
+		} else {
+			m.metrics.Coalesced.Inc()
+		}
 		return job, true, nil
 	}
 	job := &Job{
@@ -175,10 +206,13 @@ func (m *Manager) Submit(compiled *scenario.Compiled) (*Job, bool, error) {
 	select {
 	case m.queue <- job:
 	default:
+		m.metrics.Rejected.Inc()
 		return nil, false, ErrBusy
 	}
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
+	m.metrics.CacheMisses.Inc()
+	m.metrics.QueueDepth.Add(1)
 	m.evictLocked()
 	return job, false, nil
 }
@@ -197,6 +231,7 @@ func (m *Manager) evictLocked() {
 		terminal := job.status == StatusDone || job.status == StatusFailed
 		if len(m.jobs) > m.opts.MaxJobs && terminal {
 			delete(m.jobs, id)
+			m.metrics.Evictions.Inc()
 			continue
 		}
 		kept = append(kept, id)
@@ -232,7 +267,7 @@ func (m *Manager) View(job *Job) JobView {
 
 func (m *Manager) viewLocked(job *Job) JobView {
 	trials := job.compiled.Spec.Trials * len(job.compiled.Units)
-	return JobView{
+	view := JobView{
 		ID:        job.ID,
 		Name:      job.Name,
 		Status:    job.status,
@@ -242,7 +277,15 @@ func (m *Manager) viewLocked(job *Job) JobView {
 		Submitted: job.submitted,
 		Started:   job.started,
 		Finished:  job.finished,
+		Runs:      job.runs,
 	}
+	if !job.started.IsZero() {
+		view.QueueMs = float64(job.started.Sub(job.submitted).Nanoseconds()) / 1e6
+		if !job.finished.IsZero() {
+			view.RunMs = float64(job.finished.Sub(job.started).Nanoseconds()) / 1e6
+		}
+	}
+	return view
 }
 
 // Result returns the cached report bytes, or false until StatusDone.
@@ -274,10 +317,13 @@ func (m *Manager) Subscribe(job *Job) ([]scenario.Event, <-chan scenario.Event) 
 		return history, ch
 	}
 	job.subs[ch] = struct{}{}
+	m.metrics.Subscribers.Add(1)
 	return history, ch
 }
 
-// Unsubscribe detaches a listener registered with Subscribe.
+// Unsubscribe detaches a listener registered with Subscribe. Calling it
+// after the job finished (finish already closed and detached every
+// subscriber) is a harmless no-op — the SSE handler always defers it.
 func (m *Manager) Unsubscribe(job *Job, ch <-chan scenario.Event) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -285,10 +331,25 @@ func (m *Manager) Unsubscribe(job *Job, ch <-chan scenario.Event) {
 		if (<-chan scenario.Event)(sub) == ch {
 			delete(job.subs, sub)
 			close(sub)
+			m.metrics.Subscribers.Add(-1)
 			return
 		}
 	}
 }
+
+// Ready reports whether the manager accepts submissions — false once
+// Close has begun. The /v1/readyz endpoint serves it, so a load
+// balancer stops routing to a draining instance while liveness
+// (/v1/healthz) stays green until the process actually exits.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
+}
+
+// Metrics returns the manager's telemetry bundle (the one passed in
+// Options, or the private default).
+func (m *Manager) Metrics() *obs.ServiceMetrics { return m.metrics }
 
 // Close drains the pool: no new submissions are admitted, queued jobs
 // that have not started are failed with ErrClosed, and the context's
@@ -351,6 +412,8 @@ func (m *Manager) run(job *Job) {
 	job.status = StatusRunning
 	job.started = time.Now()
 	job.runs++
+	m.metrics.QueueDepth.Add(-1)
+	m.metrics.QueueLatencyNs.Observe(job.started.Sub(job.submitted).Nanoseconds())
 	hook := m.testHookBeforeRun
 	m.mu.Unlock()
 	if hook != nil {
@@ -360,6 +423,7 @@ func (m *Manager) run(job *Job) {
 	opts := scenario.RunOptions{
 		Workers:  m.opts.TrialWorkers,
 		Progress: func(e scenario.Event) { m.publish(job, e) },
+		Metrics:  m.opts.EngineMetrics,
 	}
 	report, err := scenario.Run(m.ctx, job.compiled, opts)
 	if err != nil {
@@ -386,6 +450,7 @@ func (m *Manager) publish(job *Job, e scenario.Event) {
 		select {
 		case sub <- e:
 		default: // slow subscriber: drop rather than stall the run
+			m.metrics.EventsDropped.Inc()
 		}
 	}
 }
@@ -397,14 +462,25 @@ func (m *Manager) finish(job *Job, result []byte, err error) {
 	if job.status == StatusDone || job.status == StatusFailed {
 		return
 	}
+	if job.status == StatusQueued {
+		// Failed without ever starting (shutdown drain): release the
+		// queue-depth slot run() would have.
+		m.metrics.QueueDepth.Add(-1)
+	}
 	if err != nil {
 		job.status = StatusFailed
 		job.err = err.Error()
+		m.metrics.JobsFailed.Inc()
 	} else {
 		job.status = StatusDone
 		job.result = result
+		m.metrics.JobsDone.Inc()
 	}
 	job.finished = time.Now()
+	if !job.started.IsZero() {
+		m.metrics.RunLatencyNs.Observe(job.finished.Sub(job.started).Nanoseconds())
+	}
+	m.metrics.Subscribers.Add(-int64(len(job.subs)))
 	for sub := range job.subs {
 		close(sub)
 	}

@@ -7,6 +7,7 @@ import (
 	"beepmis/internal/fault"
 	"beepmis/internal/graph"
 	"beepmis/internal/mis"
+	"beepmis/internal/obs"
 	"beepmis/internal/rng"
 )
 
@@ -76,20 +77,30 @@ func TestRoundLoopAllocations(t *testing.T) {
 	}
 	noise := &fault.Spec{Loss: 0.02, Spurious: 0.01}
 	for _, tc := range []struct {
-		name   string
-		engine Engine
-		shards int
-		faults *fault.Spec
+		name    string
+		engine  Engine
+		shards  int
+		faults  *fault.Spec
+		metrics bool
 	}{
-		{"columnar/shards=1", EngineColumnar, 1, nil},
-		{"columnar/shards=4", EngineColumnar, 4, nil},
-		{"columnar/shards=4/noisy", EngineColumnar, 4, noise},
-		{"sparse/shards=1", EngineSparse, 1, nil},
-		{"sparse/shards=4", EngineSparse, 4, nil},
-		{"sparse/shards=4/noisy", EngineSparse, 4, noise},
+		{"columnar/shards=1", EngineColumnar, 1, nil, false},
+		{"columnar/shards=4", EngineColumnar, 4, nil, false},
+		{"columnar/shards=4/noisy", EngineColumnar, 4, noise, false},
+		{"sparse/shards=1", EngineSparse, 1, nil, false},
+		{"sparse/shards=4", EngineSparse, 4, nil, false},
+		{"sparse/shards=4/noisy", EngineSparse, 4, noise, false},
+		// Metrics-enabled rows: recording is atomics into a preallocated
+		// bundle, so the steady-state guarantee must hold unchanged.
+		{"columnar/shards=1/metrics", EngineColumnar, 1, nil, true},
+		{"columnar/shards=4/metrics", EngineColumnar, 4, nil, true},
+		{"sparse/shards=4/metrics", EngineSparse, 4, nil, true},
+		{"sparse/shards=4/noisy/metrics", EngineSparse, 4, noise, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			opts := Options{Engine: tc.engine, Shards: tc.shards, Faults: tc.faults}
+			if tc.metrics {
+				opts.Metrics = &obs.EngineMetrics{}
+			}
 			opts.WakeAt = wake(shortWake)
 			short := measureRunAllocs(t, g, opts)
 			opts.WakeAt = wake(longWake)

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	mathbits "math/bits"
+	"time"
 
 	"beepmis/internal/beep"
 	"beepmis/internal/graph"
+	"beepmis/internal/obs"
 	"beepmis/internal/rng"
 )
 
@@ -57,9 +59,22 @@ type columnarLoop struct {
 	beepFn     func(shard, lo, hi int)
 	observeFn  func(shard, lo, hi int)
 	exchangeFn func(shard, lo, hi int)
+
+	// Instrumentation (all nil/zero when metrics are off). timedFn wraps
+	// inner with per-shard wall timing into shardNs so runPool can record
+	// the shard spread; tallyNs and lastTallyNs let drawBeeps report how
+	// much of the draw phase the beep tally took (attributed at the
+	// critical path — the slowest shard — under fan-out). All buffers are
+	// preallocated at setup; recording allocates nothing.
+	metrics     *obs.EngineMetrics
+	timedFn     func(shard, lo, hi int)
+	inner       func(shard, lo, hi int)
+	shardNs     []int64
+	tallyNs     []int64
+	lastTallyNs int64
 }
 
-func newColumnarLoop(prop bulkPropagator, bulk beep.BulkAutomaton, streams []*rng.Source, res *Result, beeped, heard graph.Bitset, shards int) *columnarLoop {
+func newColumnarLoop(prop bulkPropagator, bulk beep.BulkAutomaton, streams []*rng.Source, res *Result, beeped, heard graph.Bitset, shards int, metrics *obs.EngineMetrics) *columnarLoop {
 	l := &columnarLoop{
 		prop:    prop,
 		bulk:    bulk,
@@ -68,6 +83,7 @@ func newColumnarLoop(prop bulkPropagator, bulk beep.BulkAutomaton, streams []*rn
 		beeped:  beeped,
 		heard:   heard,
 		shards:  shards,
+		metrics: metrics,
 	}
 	l.ranger, _ = bulk.(beep.BulkRanger)
 	l.pool = newShardPool(len(beeped), shards)
@@ -76,8 +92,43 @@ func newColumnarLoop(prop bulkPropagator, bulk beep.BulkAutomaton, streams []*rn
 		l.beepFn = l.beepShard
 		l.observeFn = l.observeShard
 		l.exchangeFn = l.exchangeShard
+		if metrics != nil {
+			l.timedFn = l.timedShard
+			l.shardNs = make([]int64, l.pool.shards())
+			l.tallyNs = make([]int64, l.pool.shards())
+		}
 	}
 	return l
+}
+
+// timedShard runs the current inner phase body for one shard and stamps
+// its wall time — the raw material for the shard-spread histogram.
+func (l *columnarLoop) timedShard(shard, lo, hi int) {
+	start := time.Now()
+	l.inner(shard, lo, hi)
+	l.shardNs[shard] = time.Since(start).Nanoseconds()
+}
+
+// runPool fans fn out on the pool; with metrics enabled it times each
+// shard and records the spread (slowest minus fastest) — the imbalance
+// signal for the phase's partition.
+func (l *columnarLoop) runPool(fn func(shard, lo, hi int)) {
+	if l.metrics == nil {
+		l.pool.run(fn)
+		return
+	}
+	l.inner = fn
+	l.pool.run(l.timedFn)
+	lo, hi := l.shardNs[0], l.shardNs[0]
+	for _, ns := range l.shardNs[1:] {
+		if ns < lo {
+			lo = ns
+		}
+		if ns > hi {
+			hi = ns
+		}
+	}
+	l.metrics.ShardSpreadNs.Observe(hi - lo)
 }
 
 // close releases the loop's worker pool, if any.
@@ -109,6 +160,12 @@ func (l *columnarLoop) beepShard(shard, lo, hi int) {
 		l.beeped[i] = 0
 	}
 	l.ranger.BeepRange(l.eligible, l.streams, l.beeped, lo, hi)
+	if l.metrics != nil {
+		start := time.Now()
+		l.shardBeeps[shard] = l.tallyRange(lo, hi)
+		l.tallyNs[shard] = time.Since(start).Nanoseconds()
+		return
+	}
 	l.shardBeeps[shard] = l.tallyRange(lo, hi)
 }
 
@@ -122,15 +179,32 @@ func (l *columnarLoop) beepShard(shard, lo, hi int) {
 func (l *columnarLoop) drawBeeps(eligible graph.Bitset, active int) int {
 	if l.pool != nil && l.ranger != nil && active >= drawShardMinNodes {
 		l.eligible = eligible
-		l.pool.run(l.beepFn)
+		l.runPool(l.beepFn)
 		total := 0
 		for _, c := range l.shardBeeps {
 			total += c
+		}
+		if l.metrics != nil {
+			// Under fan-out, tally cost is whatever the slowest shard
+			// spent tallying — the critical-path share of the phase wall.
+			var maxNs int64
+			for _, ns := range l.tallyNs {
+				if ns > maxNs {
+					maxNs = ns
+				}
+			}
+			l.lastTallyNs = maxNs
 		}
 		return total
 	}
 	l.beeped.Zero()
 	l.bulk.BeepAll(eligible, l.streams, l.beeped)
+	if l.metrics != nil {
+		start := time.Now()
+		total := l.tallyRange(0, len(l.beeped))
+		l.lastTallyNs = time.Since(start).Nanoseconds()
+		return total
+	}
 	return l.tallyRange(0, len(l.beeped))
 }
 
@@ -144,12 +218,25 @@ func (l *columnarLoop) exchangeShard(_, lo, hi int) {
 // exchanges run on the persistent pool instead of spawning goroutines.
 func (l *columnarLoop) exchange(dst, eligible, emitters graph.Bitset) {
 	plan := l.prop.PlanExchange(eligible, emitters, l.shards)
+	if l.metrics != nil {
+		if plan.Pull {
+			l.metrics.PullExchanges.Inc()
+		} else {
+			l.metrics.PushExchanges.Inc()
+		}
+		if plan.Serial {
+			l.metrics.SerialExchanges.Inc()
+		}
+	}
 	if l.pool == nil || plan.Serial {
 		l.prop.ExchangeRange(plan, dst, eligible, emitters, 0, len(dst))
-		return
+	} else {
+		l.xplan, l.xdst, l.eligible, l.xemit = plan, dst, eligible, emitters
+		l.runPool(l.exchangeFn)
 	}
-	l.xplan, l.xdst, l.eligible, l.xemit = plan, dst, eligible, emitters
-	l.pool.run(l.exchangeFn)
+	if l.metrics != nil {
+		l.metrics.PropagateBits.Add(uint64(dst.Count()))
+	}
 }
 
 func (l *columnarLoop) observeShard(_, lo, hi int) {
@@ -161,7 +248,7 @@ func (l *columnarLoop) observeShard(_, lo, hi int) {
 func (l *columnarLoop) observe(mask graph.Bitset, active int) {
 	if l.pool != nil && l.ranger != nil && active >= drawShardMinNodes {
 		l.observeMask = mask
-		l.pool.run(l.observeFn)
+		l.runPool(l.observeFn)
 		return
 	}
 	l.bulk.ObserveAll(mask, l.beeped, l.heard)
@@ -241,8 +328,10 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 		}
 	}
 
-	loop := newColumnarLoop(prop, bulk, streams, res, beeped, heard, shards)
+	metrics := opts.Metrics
+	loop := newColumnarLoop(prop, bulk, streams, res, beeped, heard, shards, metrics)
 	defer loop.close()
+	clock := phaseClock{m: metrics}
 
 	// Wake-up schedule: awake accumulates as rounds pass; wakeAt[r]
 	// lists the nodes waking at round r.
@@ -282,6 +371,8 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 
 	for round := 1; (active > 0 || plan.keepAlive(round)) && round <= maxRounds; round++ {
 		res.Rounds = round
+		clock.start()
+		prevPersist := res.PersistentBeeps
 		// Crashes take effect before the exchange.
 		for _, v := range opts.CrashAtRound[round] {
 			if activeB.Test(v) {
@@ -320,6 +411,7 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 				downB.Set(v)
 			}
 		}
+		clock.mark(obs.PhaseFaults)
 		// First exchange: the kernel draws beeps for every eligible
 		// (active, awake, and up) node from that node's stream.
 		eligible := activeB
@@ -340,6 +432,10 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 		}
 		beepCount := loop.drawBeeps(eligible, active)
 		res.TotalBeeps += beepCount
+		// The columnar loop times the tally separately inside drawBeeps;
+		// pull its critical-path share out of the draw wall time.
+		clock.mark(obs.PhaseEligibleDraw)
+		clock.move(obs.PhaseEligibleDraw, obs.PhaseBeepTally, loop.lastTallyNs)
 		// With wake-up scheduling or outages, established MIS members
 		// keep beeping so late arrivals can never perceive silence next
 		// to them — except while themselves down (down nodes never beep,
@@ -358,7 +454,11 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 			}
 			emitters = emit
 		}
+		if metrics != nil {
+			metrics.Frontier.Observe(int64(beepCount + res.PersistentBeeps - prevPersist))
+		}
 		loop.exchange(heard, eligible, emitters)
+		clock.mark(obs.PhasePropagate)
 		// Channel noise: each eligible listener's heard bit passes
 		// through the lossy/spurious channel, drawn from that
 		// (node, round)'s own stream — identical on every engine. The
@@ -366,6 +466,7 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 		// stream across nodes.
 		if plan != nil && plan.channel != nil {
 			plan.channel.Apply(master, round, eligible, heard)
+			clock.mark(obs.PhaseFaults)
 		}
 		// Join rule: beeped into silence — one word operation.
 		copy(joined, beeped)
@@ -383,6 +484,7 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 			announcers = emit
 		}
 		loop.exchange(neighborJoined, eligible, announcers)
+		clock.mark(obs.PhaseJoin)
 		// State transitions: joiners enter the MIS, eligible nodes that
 		// heard an announcement become dominated, the rest observe the
 		// step. Masks are fixed before activeB mutates (eligible may
@@ -398,6 +500,8 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 		activeB.AndNot(newDom)
 		inMIS.Or(joined)
 		loop.observe(observe, active)
+		clock.mark(obs.PhaseObserve)
+		clock.flush()
 		if opts.OnMISDelta != nil {
 			joinedDelta = joinedDelta[:0]
 			joined.ForEach(func(v int) { joinedDelta = append(joinedDelta, v) })
@@ -434,6 +538,9 @@ func runColumnar(g topology, master *rng.Source, opts Options, maxRounds int, pr
 	materializeStates(res.States, activeB, inMIS, crashed)
 	inMIS.ForEach(func(v int) { res.InMIS[v] = true })
 	res.Terminated = active == 0
+	if metrics != nil {
+		metrics.Runs.Inc()
+	}
 	if !res.Terminated {
 		return res, fmt.Errorf("%w: %d nodes still active after %d rounds", ErrTooManyRounds, active, maxRounds)
 	}

@@ -31,6 +31,7 @@ import (
 	"beepmis/internal/beep"
 	"beepmis/internal/fault"
 	"beepmis/internal/graph"
+	"beepmis/internal/obs"
 	"beepmis/internal/rng"
 )
 
@@ -123,6 +124,14 @@ type Options struct {
 	// any outage schedule is present, MIS members beep and re-announce
 	// persistently (as under wake-up), except while themselves down.
 	Faults *fault.Spec
+	// Metrics, if non-nil, receives the run's instrumentation: per-phase
+	// wall time, frontier sizes, exchange decisions, and shard balance
+	// (see obs.EngineMetrics). One bundle may be shared by concurrent
+	// runs — every record operation is a lock-free atomic. Recording
+	// never draws from an rng stream and never allocates, so enabling
+	// metrics changes neither the results (bit-identical, all engines)
+	// nor the round loops' steady-state allocation profile.
+	Metrics *obs.EngineMetrics
 	// OnRound, if non-nil, is called after every time step.
 	OnRound func(Snapshot)
 	// OnMISDelta, if non-nil, is called after any time step in which
@@ -306,9 +315,13 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 	var probs []float64 // lazily allocated snapshot buffer
 	// MIS-delta scratch for the OnMISDelta hook (and reset bookkeeping).
 	var joinedDelta, leftDelta []int
+	metrics := opts.Metrics
+	clock := phaseClock{m: metrics}
 
 	for round := 1; (active > 0 || plan.keepAlive(round)) && round <= maxRounds; round++ {
 		res.Rounds = round
+		clock.start()
+		prevBeeps, prevPersist := res.TotalBeeps, res.PersistentBeeps
 		// Fault injection: crashes take effect before the exchange.
 		// (Entries are range- and duplicate-checked up front; a listed
 		// node that already terminated is a no-op.)
@@ -350,6 +363,7 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 				down[v] = true
 			}
 		}
+		clock.mark(obs.PhaseFaults)
 		// First exchange: draw beeps (dormant and down nodes neither
 		// beep nor later observe).
 		for v := 0; v < n; v++ {
@@ -362,6 +376,9 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 				res.TotalBeeps++
 			}
 		}
+		// The per-node engines fuse the beep tally into the draw loop, so
+		// the whole section is eligible_draw and beep_tally records zero.
+		clock.mark(obs.PhaseEligibleDraw)
 		// With wake-up scheduling or outages, established MIS members
 		// keep beeping so late arrivals can never perceive silence next
 		// to them — except while themselves down.
@@ -399,6 +416,17 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 		} else {
 			prop.propagate(emitters, heard)
 		}
+		if metrics != nil {
+			metrics.Frontier.Observe(int64(res.TotalBeeps - prevBeeps + res.PersistentBeeps - prevPersist))
+			delivered := 0
+			for _, h := range heard {
+				if h {
+					delivered++
+				}
+			}
+			metrics.PropagateBits.Add(uint64(delivered))
+		}
+		clock.mark(obs.PhasePropagate)
 		// Channel noise: each eligible listener's heard bit passes
 		// through the lossy/spurious channel, drawn from that
 		// (node, round)'s own stream — identical on every engine.
@@ -408,6 +436,7 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 					heard[v] = plan.channel.Hears(master, round, v, heard[v])
 				}
 			}
+			clock.mark(obs.PhaseFaults)
 		}
 		// Join rule: beeped into (perceived) silence.
 		for v := 0; v < n; v++ {
@@ -430,6 +459,16 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 			announcers = emit
 		}
 		prop.propagate(announcers, neighborJoined)
+		if metrics != nil {
+			delivered := 0
+			for _, h := range neighborJoined {
+				if h {
+					delivered++
+				}
+			}
+			metrics.PropagateBits.Add(uint64(delivered))
+		}
+		clock.mark(obs.PhaseJoin)
 		// State transitions and feedback (down nodes observe nothing and
 		// cannot be dominated — they did not hear the announcement).
 		for v := 0; v < n; v++ {
@@ -452,6 +491,8 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 				})
 			}
 		}
+		clock.mark(obs.PhaseObserve)
+		clock.flush()
 		if opts.OnMISDelta != nil {
 			joinedDelta = joinedDelta[:0]
 			for v := 0; v < n; v++ {
@@ -483,6 +524,9 @@ func Run(g *graph.Graph, factory beep.Factory, master *rng.Source, opts Options)
 		}
 	}
 	res.Terminated = active == 0
+	if metrics != nil {
+		metrics.Runs.Inc()
+	}
 	if !res.Terminated {
 		return res, fmt.Errorf("%w: %d nodes still active after %d rounds", ErrTooManyRounds, active, maxRounds)
 	}

@@ -22,8 +22,10 @@
 #
 # Output is ONE top-level JSON array of records (the stable schema
 # trajectory tooling parses). Records carry engine, auto_engine,
-# shards, goversion/gomaxprocs/timestamp and heap_mb, so files from
-# different machines remain interpretable side by side.
+# shards, goversion/gomaxprocs/numcpu/timestamp and heap_mb — the
+# numcpu stamp (runtime.NumCPU(), the hardware, vs gomaxprocs, the
+# grant) plus a phase_ns breakdown of each record's round loop (PR 8) —
+# so files from different machines remain interpretable side by side.
 #
 # The outfile argument is required: committed trajectory files
 # (BENCH_pr3.json, …) are per-PR records, and a default would invite
