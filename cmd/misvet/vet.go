@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"beepmis/internal/analysis"
+)
+
+// vetConfig is the JSON the go command hands a -vettool per package
+// unit: the compiled files, an import map, and the export-data file
+// of every dependency (already built into the build cache).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit checks one go vet package unit and returns the process exit
+// code (0 clean, 1 tool error, 2 findings — the unitchecker
+// convention the go command expects).
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "misvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// misvet exports no facts, but the go command requires the vetx
+	// output to exist to cache the unit.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "misvet:", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "misvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path: the ImportMap translation
+		// below already happened before the type-checker asked.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tconf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImporter.Import(path)
+		}),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "misvet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	suite := analyzers()
+	sup := analysis.NewSuppressions()
+	sup.Collect(fset, files)
+	var raw []analysis.Diagnostic
+	for _, a := range suite {
+		if err := analysis.RunPackage(a, fset, files, pkg, info, &raw); err != nil {
+			fmt.Fprintf(os.Stderr, "misvet: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+	}
+	for _, a := range suite {
+		if a.End != nil {
+			a.End(func(d analysis.Diagnostic) { raw = append(raw, d) })
+		}
+	}
+	var diags []analysis.Diagnostic
+	for _, d := range raw {
+		if analysis.IsTestFile(fset, d.Pos) || sup.Match(fset, d.Analyzer, d.Pos) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	analysis.SortDiagnostics(fset, diags)
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

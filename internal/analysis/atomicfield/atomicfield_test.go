@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"beepmis/internal/analysis/analysistest"
+	"beepmis/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.New(), "atomicfix")
+}

@@ -1,0 +1,45 @@
+// Package atomicfix exercises the atomicfield analyzer: a struct
+// field accessed through sync/atomic anywhere must be accessed
+// atomically everywhere; purely-plain fields and a justified
+// suppression are fine.
+package atomicfix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	total uint64
+	cold  uint64
+}
+
+func (c *counter) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Snapshot is the true positive: a plain read racing the atomic adds.
+func (c *counter) Snapshot() uint64 {
+	return c.hits // want "field hits is accessed with sync/atomic"
+}
+
+// SnapshotFixed is the fix: read through the same atomic API.
+func (c *counter) SnapshotFixed() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counter) AddTotal(n uint64) {
+	atomic.AddUint64(&c.total, n)
+}
+
+// Reset runs before the counter escapes its constructor, so the plain
+// write cannot race; the suppression is honored.
+func (c *counter) Reset() {
+	//misvet:allow(atomicfield) runs inside the constructor, before the counter is visible to any other goroutine
+	c.total = 0
+}
+
+// Cold is never touched atomically anywhere, so plain access is not a
+// finding.
+func (c *counter) Cold() uint64 {
+	c.cold++
+	return c.cold
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"beepmis/internal/analysis/analysistest"
+	"beepmis/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.New("determfix"), "determfix")
+}

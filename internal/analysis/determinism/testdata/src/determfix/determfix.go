@@ -1,0 +1,64 @@
+// Package determfix exercises the determinism analyzer: wall-clock
+// reads, global math/rand, and unsorted map iteration are findings;
+// the collect-then-sort idiom, the fixed variants, and a justified
+// suppression are not.
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Timestamp is the true positive: stamping results with wall time
+// makes two same-seed runs differ.
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// RoundStamp is the fix: results carry the round counter, a pure
+// function of the run.
+func RoundStamp(round int) int64 {
+	return int64(round)
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func GlobalDraw() float64 {
+	return rand.Float64() // want "global math/rand"
+}
+
+func SumKeys(m map[int]int) int {
+	total := 0
+	for k := range m { // want "map iteration order is nondeterministic"
+		total += k
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned idiom: collect the keys, sort, then
+// walk. The analyzer recognises it without any suppression.
+func SortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// MaxValue's iteration is genuinely order-insensitive — max is
+// commutative and associative — so the suppression below is honored
+// and produces no finding (and no stale-directive complaint).
+func MaxValue(m map[int]int) int {
+	best := 0
+	//misvet:allow(determinism) max is commutative and associative; visit order cannot change the result
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one type-checked target package: syntax with
+// comments, the types.Package, and full expression/selection Info.
+type LoadedPackage struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// loader type-checks a program bottom-up from `go list -deps` output.
+// Dependency packages are checked with IgnoreFuncBodies (the
+// analyzers only need their exported shapes); target packages get a
+// full check with Info. Everything shares one FileSet, so positions
+// are comparable across packages — the atomicfield analyzer's
+// whole-program End hook relies on that, and on the shared importer
+// giving every package the same *types.Var for a given field.
+type loader struct {
+	fset   *token.FileSet
+	metas  map[string]*listPackage
+	pkgs   map[string]*types.Package
+	loaded map[string]*LoadedPackage
+	errs   map[string]error
+}
+
+// Load lists patterns with the go tool, type-checks the transitive
+// program, and returns the target (non-dependency) packages in
+// deterministic import-path order. Cgo is disabled: the module is
+// pure Go, and building without it keeps source-level type-checking
+// exact.
+func Load(patterns []string) (*token.FileSet, []*LoadedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v: %s", err, stderr.Bytes())
+	}
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		metas:  make(map[string]*listPackage),
+		pkgs:   make(map[string]*types.Package),
+		loaded: make(map[string]*LoadedPackage),
+		errs:   make(map[string]error),
+	}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		meta := p
+		ld.metas[p.ImportPath] = &meta
+		if !p.DepOnly {
+			targets = append(targets, &meta)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var loaded []*LoadedPackage
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if _, err := ld.importPkg(t.ImportPath); err != nil {
+			return nil, nil, err
+		}
+		loaded = append(loaded, ld.loaded[t.ImportPath])
+	}
+	return ld.fset, loaded, nil
+}
+
+// importPkg resolves one import for the type-checker, checking the
+// dependency (exported shape only) on first use.
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if err, ok := ld.errs[path]; ok {
+		return nil, err
+	}
+	meta := ld.metas[path]
+	if meta == nil {
+		err := fmt.Errorf("package %s not in go list -deps output", path)
+		ld.errs[path] = err
+		return nil, err
+	}
+	// Target packages always get the full (bodies + Info) check, even
+	// when first reached as another target's import — every consumer
+	// must see the one canonical *types.Package per path.
+	if !meta.DepOnly {
+		lp, err := ld.check(meta)
+		if err != nil {
+			ld.errs[path] = err
+			return nil, err
+		}
+		ld.loaded[path] = lp
+		return lp.Pkg, nil
+	}
+	files, err := ld.parse(meta, 0)
+	if err != nil {
+		ld.errs[path] = err
+		return nil, err
+	}
+	conf := ld.config(meta)
+	conf.IgnoreFuncBodies = true
+	var firstErr error
+	conf.Error = func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	pkg, err := conf.Check(path, ld.fset, files, nil)
+	if err != nil && firstErr != nil {
+		err = firstErr
+	}
+	if err != nil {
+		err = fmt.Errorf("dependency %s: %v", path, err)
+		ld.errs[path] = err
+		return nil, err
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// check fully type-checks one target package with comments and Info.
+func (ld *loader) check(meta *listPackage) (*LoadedPackage, error) {
+	files, err := ld.parse(meta, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := ld.config(meta)
+	var errs []error
+	conf.Error = func(err error) { errs = append(errs, err) }
+	pkg, err := conf.Check(meta.ImportPath, ld.fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("%s: %v", meta.ImportPath, errs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", meta.ImportPath, err)
+	}
+	ld.pkgs[meta.ImportPath] = pkg
+	return &LoadedPackage{Path: meta.ImportPath, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func (ld *loader) parse(meta *listPackage, mode parser.Mode) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(meta.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// config builds a types.Config whose importer resolves through the
+// package's ImportMap (how the go tool names vendored std imports).
+func (ld *loader) config(meta *listPackage) types.Config {
+	return types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := meta.ImportMap[path]; ok {
+				path = mapped
+			}
+			return ld.importPkg(path)
+		}),
+		Sizes: types.SizesFor("gc", build.Default.GOARCH),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// IsTestFile reports whether pos lies in a _test.go file. The
+// invariants misvet machine-checks bind production code; test files
+// allocate, time, and iterate maps freely (alloc_test itself must
+// allocate to measure), so the driver drops findings positioned in
+// them.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,99 @@
+// Package metricname implements the misvet check that metric names
+// registered with obs.Registry satisfy the Prometheus name grammar at
+// compile time. The registry already panics on a bad name — but a
+// panic at process setup is discovered by running the binary, and a
+// registration behind a rarely-taken branch can ship broken. The
+// grammar here mirrors obs.nameRe / obs.labelRe exactly; if either
+// changes, change both (registry_test pins the runtime side).
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"beepmis/internal/analysis"
+)
+
+// DefaultObsPath is the registry's home package.
+const DefaultObsPath = "beepmis/internal/obs"
+
+// registerMethods maps obs.Registry method names to the index of
+// their name argument (the labels argument follows it).
+var registerMethods = map[string]bool{
+	"RegisterCounter":   true,
+	"RegisterGauge":     true,
+	"RegisterGaugeFunc": true,
+	"RegisterHistogram": true,
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*$`)
+)
+
+// New returns the metricname analyzer. obsPath overrides the registry
+// package (tests point it at a fixture); "" means DefaultObsPath.
+func New(obsPath string) *analysis.Analyzer {
+	if obsPath == "" {
+		obsPath = DefaultObsPath
+	}
+	return &analysis.Analyzer{
+		Name: "metricname",
+		Doc:  "metric names registered with obs.Registry must satisfy the Prometheus grammar at compile time",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, obsPath)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass, obsPath string) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			check(pass, obsPath, call)
+			return true
+		})
+	}
+}
+
+func check(pass *analysis.Pass, obsPath string, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registerMethods[sel.Sel.Name] || len(call.Args) < 2 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	// Name argument: must be a compile-time constant in the grammar.
+	if name, isConst := constString(pass, call.Args[0]); !isConst {
+		pass.Reportf(call.Args[0].Pos(), "metric name is not a compile-time constant; the Prometheus grammar cannot be machine-checked (or the name hidden behind it ships a registration panic)")
+	} else if !nameRe.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q violates the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*; registration will panic", name)
+	}
+	// Label argument: checked only when constant and non-empty —
+	// dynamic label values (per-phase series) are validated at
+	// registration.
+	if labels, isConst := constString(pass, call.Args[1]); isConst && labels != "" && !labelRe.MatchString(labels) {
+		pass.Reportf(call.Args[1].Pos(), "label set %q violates the Prometheus grammar key=\"value\"(,key=\"value\")*; registration will panic", labels)
+	}
+}
+
+// constString evaluates expr as a compile-time string constant.
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"beepmis/internal/analysis/analysistest"
+	"beepmis/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.New("metricfix/obs"), "metricfix/use")
+}

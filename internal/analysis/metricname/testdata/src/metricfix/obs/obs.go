@@ -1,0 +1,19 @@
+// Package obs is a fixture stand-in for beepmis/internal/obs: a
+// registry whose Register methods take (name, labels, ...) strings.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) RegisterCounter(name, labels, help string) *Counter { return &Counter{} }
+
+func (r *Registry) RegisterGauge(name, labels, help string) *Gauge { return &Gauge{} }
+
+func (r *Registry) RegisterGaugeFunc(name, labels, help string, fn func() float64) {}
+
+func (r *Registry) RegisterHistogram(name, labels, help string, buckets []float64) *Histogram {
+	return &Histogram{}
+}

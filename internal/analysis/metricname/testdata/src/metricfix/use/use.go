@@ -1,0 +1,44 @@
+// Package use exercises the metricname analyzer against the fixture
+// registry: grammar-violating constant names and labels, and names
+// the analyzer cannot see through, are findings; valid names and a
+// justified suppression are not.
+package use
+
+import "metricfix/obs"
+
+// Bad is the true positive: a hyphen violates the Prometheus grammar
+// and the registration panics at process setup.
+func Bad(r *obs.Registry) {
+	r.RegisterCounter("rounds-total", "", "rounds") // want "violates the Prometheus grammar"
+}
+
+// Good is the fix.
+func Good(r *obs.Registry) {
+	r.RegisterCounter("rounds_total", "", "rounds")
+}
+
+// ConstFolded names are still compile-time constants, so they are
+// checked and pass.
+const prefix = "beepmis_"
+
+func Prefixed(r *obs.Registry) {
+	r.RegisterGauge(prefix+"queue_depth", "", "depth")
+}
+
+func BadLabels(r *obs.Registry) {
+	r.RegisterGauge("queue_depth", "shard=0", "depth") // want "label set .* violates the Prometheus grammar"
+}
+
+func Dynamic(r *obs.Registry, name string) {
+	r.RegisterCounter(name, "", "dynamic") // want "not a compile-time constant"
+}
+
+// FromTable registers names drawn from a static table the analyzer
+// cannot see through; the table's own test validates the grammar, so
+// the suppression is honored.
+func FromTable(r *obs.Registry, names []string) {
+	for _, name := range names {
+		//misvet:allow(metricname) names come from a static table whose own test checks the grammar
+		r.RegisterCounter(name, "", "table")
+	}
+}

@@ -1,0 +1,285 @@
+// Package noalloc implements the misvet check behind the
+// //misvet:noalloc function annotation. The steady-state round loop
+// must not allocate: internal/sim/alloc_test.go proves it
+// dynamically by differencing runs of different lengths, but that
+// test fires after the regression is written and points at a run, not
+// a line. This analyzer flags the allocating constructs themselves —
+// make/new, append (may grow), slice/map composite literals, closures,
+// string concatenation, string<->slice conversions, interface boxing,
+// go/defer statements, map writes — inside every annotated function
+// and every same-package function reachable from one by direct call
+// or method-value reference.
+//
+// Escape analysis is deliberately not modeled: a construct the
+// compiler provably stack-allocates still gets flagged and carries a
+// //misvet:allow(noalloc) justification saying so. The annotation is
+// a statement of intent about the hot path; rare cold branches inside
+// it (error paths, one-time lazy setup) suppress with a reason.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"beepmis/internal/analysis"
+)
+
+// New returns the noalloc analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "noalloc",
+		Doc:  "flag allocating constructs in //misvet:noalloc functions and their same-package callees",
+		Run: func(pass *analysis.Pass) error {
+			run(pass)
+			return nil
+		},
+	}
+}
+
+// funcInfo is one package-level function (or method) with a body.
+type funcInfo struct {
+	decl  *ast.FuncDecl
+	label string // display name: recv.name for methods
+}
+
+func run(pass *analysis.Pass) {
+	funcs := make(map[*types.Func]*funcInfo)
+	var annotated []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs[obj] = &funcInfo{decl: fd, label: label(fd)}
+			if analysis.HasNoallocDirective(fd.Doc) {
+				annotated = append(annotated, obj)
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return
+	}
+
+	// Reach every same-package function a noalloc body can enter, by
+	// direct call or by method-value/function-value reference (the
+	// round loop hands method values to the shard pool, which calls
+	// them later — the body still runs on the hot path).
+	origin := make(map[*types.Func]string)
+	queue := make([]*types.Func, 0, len(annotated))
+	for _, root := range annotated {
+		origin[root] = funcs[root].label
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		ast.Inspect(funcs[cur].decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, known := funcs[callee]; !known {
+				return true
+			}
+			if _, seen := origin[callee]; !seen {
+				origin[callee] = origin[cur]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn, root := range origin {
+		info := funcs[fn]
+		where := fmt.Sprintf("//misvet:noalloc function %s", info.label)
+		if root != info.label {
+			where = fmt.Sprintf("%s (on the //misvet:noalloc path of %s)", info.label, root)
+		}
+		checkBody(pass, info.decl, where)
+	}
+}
+
+func label(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return types.ExprString(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+// checkBody flags the allocating constructs of one function body.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, where string) {
+	sig, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	var results *types.Tuple
+	if sig != nil {
+		results = sig.Type().(*types.Signature).Results()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates in %s", where)
+			return false // constructs inside the literal are the closure's problem
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in %s", where)
+				return false
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in %s", where)
+				return false
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, where)
+		case *ast.BinaryExpr:
+			checkConcat(pass, n, where)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine in %s", where)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer may allocate its frame in %s", where)
+		case *ast.AssignStmt:
+			checkAssign(pass, n, where)
+		case *ast.ValueSpec:
+			checkValueSpec(pass, n, where)
+		case *ast.ReturnStmt:
+			checkReturn(pass, n, results, where)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, where string) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in %s", where)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in %s", where)
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in %s", where)
+			}
+			return
+		}
+	}
+	// Conversions.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pass.TypesInfo.TypeOf(call.Args[0])
+		switch dst.Underlying().(type) {
+		case *types.Slice:
+			if src != nil {
+				if b, ok := src.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					pass.Reportf(call.Pos(), "string-to-slice conversion allocates in %s", where)
+				}
+			}
+		case *types.Basic:
+			if dst.Underlying().(*types.Basic).Info()&types.IsString != 0 && src != nil {
+				if _, ok := src.Underlying().(*types.Slice); ok {
+					pass.Reportf(call.Pos(), "slice-to-string conversion allocates in %s", where)
+				}
+			}
+		}
+		if boxes(pass, dst, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface boxes its operand in %s", where)
+		}
+		return
+	}
+	// Interface boxing at argument positions.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(pass, pt, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes into interface parameter in %s", where)
+		}
+	}
+}
+
+func checkConcat(pass *analysis.Pass, be *ast.BinaryExpr, where string) {
+	if be.Op.String() != "+" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[be]
+	if !ok || tv.Value != nil { // constant-folded concat is free
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		pass.Reportf(be.Pos(), "string concatenation allocates in %s", where)
+	}
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, where string) {
+	for i, lhs := range as.Lhs {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if t := pass.TypesInfo.TypeOf(ix.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(lhs.Pos(), "map assignment may grow the table in %s", where)
+				}
+			}
+		}
+		if as.Tok.String() == "=" && i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) {
+			if boxes(pass, pass.TypesInfo.TypeOf(lhs), as.Rhs[i]) {
+				pass.Reportf(as.Rhs[i].Pos(), "assignment boxes into interface in %s", where)
+			}
+		}
+	}
+}
+
+func checkValueSpec(pass *analysis.Pass, vs *ast.ValueSpec, where string) {
+	if vs.Type == nil || len(vs.Values) == 0 {
+		return
+	}
+	dst := pass.TypesInfo.TypeOf(vs.Type)
+	for _, v := range vs.Values {
+		if boxes(pass, dst, v) {
+			pass.Reportf(v.Pos(), "declaration boxes into interface in %s", where)
+		}
+	}
+}
+
+func checkReturn(pass *analysis.Pass, rs *ast.ReturnStmt, results *types.Tuple, where string) {
+	if results == nil || len(rs.Results) != results.Len() {
+		return
+	}
+	for i, r := range rs.Results {
+		if boxes(pass, results.At(i).Type(), r) {
+			pass.Reportf(r.Pos(), "return boxes into interface in %s", where)
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a destination of type dst
+// converts a concrete value to an interface (an allocation for
+// anything the runtime does not intern).
+func boxes(pass *analysis.Pass, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return false
+	}
+	return true
+}

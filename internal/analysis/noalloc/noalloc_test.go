@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"beepmis/internal/analysis/analysistest"
+	"beepmis/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.New(), "noallocfix")
+}

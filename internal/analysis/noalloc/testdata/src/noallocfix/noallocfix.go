@@ -1,0 +1,59 @@
+// Package noallocfix exercises the noalloc analyzer: allocating
+// constructs inside //misvet:noalloc functions and their same-package
+// callees are findings; preallocated-buffer code, unannotated cold
+// code, and a justified suppression are not.
+package noallocfix
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+// Push is the true positive: growing the buffer allocates on the hot
+// path.
+//
+//misvet:noalloc
+func (r *ring) Push(v int) {
+	r.buf = append(r.buf, v) // want "append may grow its backing array"
+}
+
+// Store is the fix: write into the preallocated buffer.
+//
+//misvet:noalloc
+func (r *ring) Store(v int) {
+	r.buf[r.n%len(r.buf)] = v
+	r.n++
+	r.tally(v)
+}
+
+// tally is reached from Store, so its body is checked without an
+// annotation of its own — and so is grow's, one hop further.
+func (r *ring) tally(v int) {
+	if v < 0 {
+		r.grow()
+	}
+}
+
+func (r *ring) grow() {
+	r.buf = make([]int, 2*len(r.buf)) // want "make allocates"
+}
+
+// fill is annotated but its one allocation is a documented cold
+// branch; the suppression is honored and produces no finding.
+//
+//misvet:noalloc
+func (r *ring) fill() {
+	if r.buf == nil {
+		//misvet:allow(noalloc) one-time lazy setup: runs on the first call only, never in steady state
+		r.buf = make([]int, 8)
+	}
+	for i := range r.buf {
+		r.buf[i] = 0
+	}
+}
+
+// Idle is neither annotated nor reachable from an annotated function,
+// so its allocation is not a finding.
+func Idle() []int {
+	return make([]int, 4)
+}

@@ -1,0 +1,110 @@
+// Package rngstream implements the misvet check that all randomness
+// flows through beepmis/internal/rng. Every engine is bit-identical
+// to every other only because each (unit, trial, slot) draws from a
+// stream derived purely from (seed, id) — a discipline rng.Source
+// enforces by construction. Randomness from anywhere else breaks the
+// chain invisibly, so outside internal/rng the analyzer forbids:
+//
+//   - importing math/rand or math/rand/v2 at all: their generators are
+//     seeded ad hoc and (for the global source) shared across
+//     goroutines, so sequences depend on scheduling;
+//   - constructing an rng.Source by composite literal with explicit
+//     state: hand-rolled state bypasses the SplitMix64 seeding that
+//     stream derivation is anchored to (the zero Source filled via
+//     StreamInto — how engines build per-node stream arrays — is
+//     fine);
+//   - calling (*rng.Source).Reseed: reseeding mid-stream detaches a
+//     source from the (seed, id) derivation its consumers assume.
+package rngstream
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"beepmis/internal/analysis"
+)
+
+// DefaultRngPath is the one package allowed to construct and seed raw
+// generators.
+const DefaultRngPath = "beepmis/internal/rng"
+
+// New returns the rngstream analyzer. rngPath overrides the sanctioned
+// generator package (tests point it at a fixture); "" means
+// DefaultRngPath.
+func New(rngPath string) *analysis.Analyzer {
+	if rngPath == "" {
+		rngPath = DefaultRngPath
+	}
+	return &analysis.Analyzer{
+		Name: "rngstream",
+		Doc:  "forbid constructing or seeding random generators outside internal/rng",
+		Run: func(pass *analysis.Pass) error {
+			if pass.Pkg.Path() == rngPath {
+				return nil
+			}
+			run(pass, rngPath)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass, rngPath string) {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside %s bypasses the per-(unit,trial,slot) stream discipline", path, rngPath)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkComposite(pass, rngPath, n)
+			case *ast.CallExpr:
+				checkReseed(pass, rngPath, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkComposite flags rng.Source{...} literals with explicit state.
+func checkComposite(pass *analysis.Pass, rngPath string, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != rngPath || obj.Name() != "Source" {
+		return
+	}
+	pass.Reportf(lit.Pos(), "constructing %s.Source with explicit state bypasses SplitMix64 seeding; use rng.New or Source.Stream", obj.Pkg().Name())
+}
+
+// checkReseed flags (*rng.Source).Reseed calls.
+func checkReseed(pass *analysis.Pass, rngPath string, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Reseed" {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil || obj.Pkg() == nil || obj.Pkg().Path() != rngPath {
+		return
+	}
+	pass.Reportf(call.Pos(), "Reseed detaches a Source from its (seed, id) stream derivation; derive a fresh stream instead")
+}

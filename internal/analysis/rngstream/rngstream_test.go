@@ -1,0 +1,12 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"beepmis/internal/analysis/analysistest"
+	"beepmis/internal/analysis/rngstream"
+)
+
+func TestRngstream(t *testing.T) {
+	analysistest.Run(t, "testdata", rngstream.New("rngfix/rng"), "rngfix/use")
+}

@@ -1,0 +1,21 @@
+// Package rng is a fixture stand-in for beepmis/internal/rng: the one
+// package allowed to construct and seed generators.
+package rng
+
+// Source is a toy generator with exported state, so fixtures can try
+// to construct it by literal.
+type Source struct {
+	State uint64
+}
+
+// New derives a source from a seed — the sanctioned constructor.
+func New(seed int64) *Source { return &Source{State: uint64(seed)} }
+
+// Reseed rebinds the source to a new seed mid-stream.
+func (s *Source) Reseed(seed int64) { s.State = uint64(seed) }
+
+// Uint64 advances the stream.
+func (s *Source) Uint64() uint64 {
+	s.State += 0x9e3779b97f4a7c15
+	return s.State
+}

@@ -1,0 +1,45 @@
+// Package use exercises the rngstream analyzer against the fixture
+// rng package: math/rand imports, hand-rolled Source literals, and
+// Reseed calls are findings; the constructor path and a justified
+// suppression are not.
+package use
+
+import (
+	"math/rand" // want "import of math/rand outside rngfix/rng"
+
+	"rngfix/rng"
+)
+
+// HandRolled is the true positive: constructing a Source by literal
+// bypasses the seeding discipline.
+func HandRolled() *rng.Source {
+	return &rng.Source{State: 42} // want "constructing rng.Source with explicit state"
+}
+
+// FromConstructor is the fix: derive the source from the seed.
+func FromConstructor(seed int64) *rng.Source {
+	return rng.New(seed)
+}
+
+// ZeroValue is also fine: a zero Source filled by the rng package's
+// own derivation helpers carries no explicit state.
+func ZeroValue() *rng.Source {
+	return new(rng.Source)
+}
+
+func Restart(s *rng.Source) {
+	s.Reseed(7) // want "Reseed detaches a Source"
+}
+
+// Draw exists to use the math/rand import; rngstream flags the import
+// itself, not each call site.
+func Draw() float64 {
+	return rand.Float64()
+}
+
+// Replay re-derives a stream on purpose for a documented replay tool;
+// the suppression is honored and produces no finding.
+func Replay(s *rng.Source) {
+	//misvet:allow(rngstream) replay tooling rebinds the stream deliberately and owns the source exclusively
+	s.Reseed(11)
+}

@@ -240,7 +240,10 @@ func validateOutages(n int, outages []Outage) error {
 		}
 		perNode[o.Node] = append(perNode[o.Node], o)
 	}
-	for v, os := range perNode {
+	// Sorted node order keeps the first-error message deterministic
+	// when several nodes have overlapping outages.
+	for _, v := range sortedKeys(perNode) {
+		os := perNode[v]
 		sort.Slice(os, func(i, j int) bool { return os[i].From < os[j].From })
 		for i := 1; i < len(os); i++ {
 			if os[i].From < os[i-1].end() {
@@ -306,8 +309,8 @@ func (s *Spec) Normalized() *Spec {
 		w := *s.Wake
 		if len(w.At) > 0 {
 			at := make(map[int][]int, len(w.At))
-			for round, nodes := range w.At {
-				sorted := append([]int(nil), nodes...)
+			for _, round := range sortedKeys(w.At) {
+				sorted := append([]int(nil), w.At[round]...)
 				sort.Ints(sorted)
 				at[round] = sorted
 			}

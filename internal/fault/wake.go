@@ -65,8 +65,11 @@ func ResolveWake(w *Wake, g Topology, master *rng.Source) []int {
 		for v := range wake {
 			wake[v] = 1
 		}
-		for round, nodes := range w.At {
-			for _, v := range nodes {
+		// Validate rejects a node listed at two rounds, so the writes
+		// are disjoint; sorted round order keeps that independence from
+		// mattering at all.
+		for _, round := range sortedKeys(w.At) {
+			for _, v := range w.At[round] {
 				wake[v] = round
 			}
 		}

@@ -180,6 +180,8 @@ func (m *AdjacencyMatrix) Row(v int) Bitset {
 // OrRowInto ORs vertex v's neighbourhood row into dst, which must have
 // capacity n. This is the engine's inner loop: one call delivers v's
 // beep to all its neighbours, 64 of them per word operation.
+//
+//misvet:noalloc
 func (m *AdjacencyMatrix) OrRowInto(dst Bitset, v int) {
 	row := m.rows[v*m.words : (v+1)*m.words]
 	for i, w := range row {
@@ -191,6 +193,8 @@ func (m *AdjacencyMatrix) OrRowInto(dst Bitset, v int) {
 // same word range of dst. It is the building block of sharded
 // propagation: a worker that owns destination words [lo, hi) delivers
 // v's beep to just the listeners packed in that range.
+//
+//misvet:noalloc
 func (m *AdjacencyMatrix) OrRowRangeInto(dst Bitset, v, lo, hi int) {
 	row := m.rows[v*m.words+lo : v*m.words+hi]
 	d := dst[lo:hi]
@@ -207,6 +211,8 @@ func (m *AdjacencyMatrix) OrRowRangeInto(dst Bitset, v, lo, hi int) {
 // turns the crowded early rounds (thousands of emitters whose
 // neighbourhoods blanket the network within a few dozen rows) from
 // O(emitters · words) into O(words).
+//
+//misvet:noalloc
 func (m *AdjacencyMatrix) orRowsRangeInto(dst, emitters Bitset, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i] = 0
@@ -256,6 +262,8 @@ func (m *AdjacencyMatrix) PropagateInto(dst, emitters Bitset, shards int) {
 // win), and goes serial when the word-OR volume is below the fan-out
 // threshold. The targets mask is ignored — a pushed dst is correct
 // everywhere, a superset of the targets contract.
+//
+//misvet:noalloc
 func (m *AdjacencyMatrix) PlanExchange(_, emitters Bitset, shards int) ExchangePlan {
 	return ExchangePlan{
 		Serial: shards <= 1 || emitters.Count()*m.words < propagateMinWords,
@@ -267,6 +275,8 @@ func (m *AdjacencyMatrix) PlanExchange(_, emitters Bitset, shards int) ExchangeP
 // corresponding row words of every emitter. Workers own disjoint
 // ranges, so any partition of the full range produces the same dst as
 // one serial pass.
+//
+//misvet:noalloc
 func (m *AdjacencyMatrix) ExchangeRange(_ ExchangePlan, dst, _, emitters Bitset, loWord, hiWord int) {
 	m.orRowsRangeInto(dst, emitters, loWord, hiWord)
 }

@@ -89,6 +89,8 @@ func (c *CSR) HasEdge(u, v int) bool {
 // amortized O(1) per written entry: CSR rows are short on exactly the
 // graphs this representation exists for, and an every-k-rows scan of
 // the whole range would cost more than the writes it tries to save.
+//
+//misvet:noalloc
 func (c *CSR) orRowsVertexRangeInto(dst, emitters Bitset, loWord, hiWord int) {
 	for i := loWord; i < hiWord; i++ {
 		dst[i] = 0
@@ -128,6 +130,7 @@ func (c *CSR) orRowsVertexRangeInto(dst, emitters Bitset, loWord, hiWord int) {
 			row := c.Row(v)
 			start := 0
 			if loVert > 0 {
+				//misvet:allow(noalloc) the predicate closure does not escape sort.Search, so it stays on the stack
 				start = sort.Search(len(row), func(i int) bool { return row[i] >= loVert })
 			}
 			i := start
@@ -160,6 +163,8 @@ func (c *CSR) orRowsVertexRangeInto(dst, emitters Bitset, loWord, hiWord int) {
 // dst bits outside targets are left unset; callers that read heard-bits
 // only under a targets mask (the engine's round loop reads them only at
 // eligible nodes) observe identical results from either direction.
+//
+//misvet:noalloc
 func (c *CSR) PullRangeInto(dst, targets, emitters Bitset, loWord, hiWord int) {
 	for i := loWord; i < hiWord; i++ {
 		dst[i] = 0
@@ -226,6 +231,8 @@ func (c *CSR) PropagateInto(dst, emitters Bitset, shards int) {
 // planPush is the push-only half of PlanExchange: serial when the
 // emitter degree sum is below the fan-out threshold. The degree sum is
 // only worth computing when fan-out is even possible.
+//
+//misvet:noalloc
 func (c *CSR) planPush(emitters Bitset, shards int) ExchangePlan {
 	serial := shards <= 1
 	if !serial {
@@ -254,6 +261,8 @@ func (c *CSR) planPush(emitters Bitset, shards int) ExchangePlan {
 // the crowded opening exchange (half the graph emitting), where it
 // halves the exchange cost, and leaves the sparse-frontier tail to
 // push.
+//
+//misvet:noalloc
 func (c *CSR) PlanExchange(targets, emitters Bitset, shards int) ExchangePlan {
 	e := emitters.Count()
 	if e > 0 && len(c.cols) > 0 {
@@ -277,6 +286,8 @@ func (c *CSR) PlanExchange(targets, emitters Bitset, shards int) ExchangePlan {
 // disjoint ranges, so any partition of the full range produces the
 // same dst (at the bits in targets, for pull plans) as one serial
 // pass.
+//
+//misvet:noalloc
 func (c *CSR) ExchangeRange(p ExchangePlan, dst, targets, emitters Bitset, loWord, hiWord int) {
 	if p.Pull {
 		c.PullRangeInto(dst, targets, emitters, loWord, hiWord)

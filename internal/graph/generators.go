@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"beepmis/internal/rng"
 )
@@ -272,14 +273,23 @@ func BarabasiAlbert(n, m int, src *rng.Source) (*Graph, error) {
 		}
 	}
 	targets := make(map[int]bool, m)
+	chosen := make([]int, 0, m)
 	for v := m + 1; v < n; v++ {
-		for k := range targets {
-			delete(targets, k)
-		}
+		clear(targets)
 		for len(targets) < m {
 			targets[repeated[src.Intn(len(repeated))]] = true
 		}
+		// Drain the target set in sorted order: appending to `repeated`
+		// in map iteration order would make every later draw — and so
+		// the whole graph — depend on the runtime's randomized map
+		// order, not just the seed. (Caught by misvet's determinism
+		// analyzer; before the sort, two same-seed runs could diverge.)
+		chosen = chosen[:0]
 		for t := range targets {
+			chosen = append(chosen, t)
+		}
+		sort.Ints(chosen)
+		for _, t := range chosen {
 			_ = b.AddEdge(v, t)
 			repeated = append(repeated, v, t)
 		}
@@ -333,6 +343,7 @@ func WattsStrogatz(n, k int, beta float64, src *rng.Source) (*Graph, error) {
 		}
 	}
 	b := NewBuilder(n)
+	//misvet:allow(determinism) insertion order never reaches the output: the edge set is fixed and Builder.Build sorts and dedupes every adjacency row
 	for e := range present {
 		_ = b.AddEdge(e.u, e.v)
 	}

@@ -62,6 +62,7 @@ func (k *feedbackBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out g
 	k.BeepRange(active, streams, out, 0, len(active))
 }
 
+//misvet:noalloc
 func (k *feedbackBulk) BeepRange(active graph.Bitset, streams []*rng.Source, out graph.Bitset, loWord, hiWord int) {
 	for wi := loWord; wi < hiWord; wi++ {
 		w := active[wi]
@@ -82,6 +83,7 @@ func (k *feedbackBulk) ObserveAll(observed, beeped, heard graph.Bitset) {
 	k.ObserveRange(observed, beeped, heard, 0, len(observed))
 }
 
+//misvet:noalloc
 func (k *feedbackBulk) ObserveRange(observed, beeped, heard graph.Bitset, loWord, hiWord int) {
 	cfg := k.cfg
 	for wi := loWord; wi < hiWord; wi++ {
@@ -137,6 +139,7 @@ func (k *sweepBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out grap
 	k.BeepRange(active, streams, out, 0, len(active))
 }
 
+//misvet:noalloc
 func (k *sweepBulk) BeepRange(active graph.Bitset, streams []*rng.Source, out graph.Bitset, loWord, hiWord int) {
 	for wi := loWord; wi < hiWord; wi++ {
 		w := active[wi]
@@ -222,6 +225,7 @@ func (k *afekBulk) BeepAll(active graph.Bitset, streams []*rng.Source, out graph
 	k.BeepRange(active, streams, out, 0, len(active))
 }
 
+//misvet:noalloc
 func (k *afekBulk) BeepRange(active graph.Bitset, streams []*rng.Source, out graph.Bitset, loWord, hiWord int) {
 	for wi := loWord; wi < hiWord; wi++ {
 		w := active[wi]

@@ -469,8 +469,16 @@ func (s *Spec) Compile() (*Compiled, error) {
 	for _, f := range info.extra {
 		allowed[f] = true
 	}
-	for field, set := range graphFieldChecks(n.Graph) {
-		if set && !allowed[field] {
+	// Visit the fields in sorted order so a spec with two stray fields
+	// always reports the same one first.
+	checks := graphFieldChecks(n.Graph)
+	fields := make([]string, 0, len(checks))
+	for field := range checks {
+		fields = append(fields, field)
+	}
+	sort.Strings(fields)
+	for _, field := range fields {
+		if checks[field] && !allowed[field] {
 			return nil, fmt.Errorf("scenario: graph field %q is not used by family %q", field, n.Graph.Family)
 		}
 	}

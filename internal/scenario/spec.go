@@ -352,6 +352,7 @@ func (s *Spec) Normalized() *Spec {
 		// sort them: order-only permutations of one crash schedule must
 		// hash identically.
 		n.CrashAtRound = make(map[int][]int, len(s.CrashAtRound))
+		//misvet:allow(determinism) keyed copy into a fresh map: each write lands at its own round key, and encoding/json sorts map keys when the canonical form is serialised
 		for round, nodes := range s.CrashAtRound {
 			sorted := append([]int(nil), nodes...)
 			sort.Ints(sorted)

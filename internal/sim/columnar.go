@@ -103,15 +103,19 @@ func newColumnarLoop(prop bulkPropagator, bulk beep.BulkAutomaton, streams []*rn
 
 // timedShard runs the current inner phase body for one shard and stamps
 // its wall time — the raw material for the shard-spread histogram.
+//
+//misvet:noalloc
 func (l *columnarLoop) timedShard(shard, lo, hi int) {
-	start := time.Now()
+	start := time.Now() //misvet:allow(determinism) telemetry only: measures shard wall time, never steers results; TestMetricsDoNotPerturbResults pins bit-identity
 	l.inner(shard, lo, hi)
-	l.shardNs[shard] = time.Since(start).Nanoseconds()
+	l.shardNs[shard] = time.Since(start).Nanoseconds() //misvet:allow(determinism) telemetry only: see the paired time.Now above
 }
 
 // runPool fans fn out on the pool; with metrics enabled it times each
 // shard and records the spread (slowest minus fastest) — the imbalance
 // signal for the phase's partition.
+//
+//misvet:noalloc
 func (l *columnarLoop) runPool(fn func(shard, lo, hi int)) {
 	if l.metrics == nil {
 		l.pool.run(fn)
@@ -141,6 +145,8 @@ func (l *columnarLoop) close() {
 // tallyRange bumps res.Beeps for every beeper packed in beeped's words
 // [lo, hi) and returns how many there were. Each node's counter lives
 // in its own slot, so range-sharded tallies stay disjoint.
+//
+//misvet:noalloc
 func (l *columnarLoop) tallyRange(lo, hi int) int {
 	count := 0
 	for wi := lo; wi < hi; wi++ {
@@ -155,15 +161,16 @@ func (l *columnarLoop) tallyRange(lo, hi int) int {
 	return count
 }
 
+//misvet:noalloc
 func (l *columnarLoop) beepShard(shard, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		l.beeped[i] = 0
 	}
 	l.ranger.BeepRange(l.eligible, l.streams, l.beeped, lo, hi)
 	if l.metrics != nil {
-		start := time.Now()
+		start := time.Now() //misvet:allow(determinism) telemetry only: times the tally, never steers results; TestMetricsDoNotPerturbResults pins bit-identity
 		l.shardBeeps[shard] = l.tallyRange(lo, hi)
-		l.tallyNs[shard] = time.Since(start).Nanoseconds()
+		l.tallyNs[shard] = time.Since(start).Nanoseconds() //misvet:allow(determinism) telemetry only: see the paired time.Now above
 		return
 	}
 	l.shardBeeps[shard] = l.tallyRange(lo, hi)
@@ -176,6 +183,8 @@ func (l *columnarLoop) beepShard(shard, lo, hi int) {
 // and tally run sharded; per-node streams make every node's draw
 // independent of every other's, so the sharded sweep is bit-identical
 // to the serial one.
+//
+//misvet:noalloc
 func (l *columnarLoop) drawBeeps(eligible graph.Bitset, active int) int {
 	if l.pool != nil && l.ranger != nil && active >= drawShardMinNodes {
 		l.eligible = eligible
@@ -200,14 +209,15 @@ func (l *columnarLoop) drawBeeps(eligible graph.Bitset, active int) int {
 	l.beeped.Zero()
 	l.bulk.BeepAll(eligible, l.streams, l.beeped)
 	if l.metrics != nil {
-		start := time.Now()
+		start := time.Now() //misvet:allow(determinism) telemetry only: times the tally, never steers results; TestMetricsDoNotPerturbResults pins bit-identity
 		total := l.tallyRange(0, len(l.beeped))
-		l.lastTallyNs = time.Since(start).Nanoseconds()
+		l.lastTallyNs = time.Since(start).Nanoseconds() //misvet:allow(determinism) telemetry only: see the paired time.Now above
 		return total
 	}
 	return l.tallyRange(0, len(l.beeped))
 }
 
+//misvet:noalloc
 func (l *columnarLoop) exchangeShard(_, lo, hi int) {
 	l.prop.ExchangeRange(l.xplan, l.xdst, l.eligible, l.xemit, lo, hi)
 }
@@ -216,6 +226,8 @@ func (l *columnarLoop) exchangeShard(_, lo, hi int) {
 // emitters' neighbourhoods, correct at least at the bits in eligible.
 // The propagator plans the direction and whether fan-out pays; fanned
 // exchanges run on the persistent pool instead of spawning goroutines.
+//
+//misvet:noalloc
 func (l *columnarLoop) exchange(dst, eligible, emitters graph.Bitset) {
 	plan := l.prop.PlanExchange(eligible, emitters, l.shards)
 	if l.metrics != nil {
@@ -239,12 +251,15 @@ func (l *columnarLoop) exchange(dst, eligible, emitters graph.Bitset) {
 	}
 }
 
+//misvet:noalloc
 func (l *columnarLoop) observeShard(_, lo, hi int) {
 	l.ranger.ObserveRange(l.observeMask, l.beeped, l.heard, lo, hi)
 }
 
 // observe delivers the step's outcome to every node in mask, sharded
 // under the same conditions as drawBeeps.
+//
+//misvet:noalloc
 func (l *columnarLoop) observe(mask graph.Bitset, active int) {
 	if l.pool != nil && l.ranger != nil && active >= drawShardMinNodes {
 		l.observeMask = mask

@@ -73,6 +73,7 @@ func newFaultPlan(fs *fault.Spec) *faultPlan {
 		}
 	}
 	for _, m := range []map[int][]int{p.startAt, p.resumeAt, p.resetAt} {
+		//misvet:allow(determinism) each value slice is sorted in place; no state flows between iterations, so visit order is unobservable
 		for _, nodes := range m {
 			sort.Ints(nodes)
 		}

@@ -25,6 +25,8 @@ type phaseClock struct {
 }
 
 // start opens a round: zero the accumulator and stamp the clock.
+//
+//misvet:noalloc
 func (c *phaseClock) start() {
 	if c.m == nil {
 		return
@@ -32,18 +34,20 @@ func (c *phaseClock) start() {
 	for i := range c.acc {
 		c.acc[i] = 0
 	}
-	c.last = time.Now()
+	c.last = time.Now() //misvet:allow(determinism) telemetry only: the phase clock measures, never steers; TestMetricsDoNotPerturbResults pins bit-identity
 }
 
 // mark attributes the wall time since the previous mark (or start) to
 // phase p. A phase interrupted by another — channel noise landing in
 // the middle of the exchange section, say — just marks twice; the
 // accumulator sums.
+//
+//misvet:noalloc
 func (c *phaseClock) mark(p obs.Phase) {
 	if c.m == nil {
 		return
 	}
-	now := time.Now()
+	now := time.Now() //misvet:allow(determinism) telemetry only: the phase clock measures, never steers; TestMetricsDoNotPerturbResults pins bit-identity
 	c.acc[p] += now.Sub(c.last).Nanoseconds()
 	c.last = now
 }
@@ -52,6 +56,8 @@ func (c *phaseClock) mark(p obs.Phase) {
 // how the columnar loop splits the separately-timed beep tally out of
 // the eligible-draw wall time without a second clock read in the hot
 // path.
+//
+//misvet:noalloc
 func (c *phaseClock) move(from, to obs.Phase, ns int64) {
 	if c.m == nil {
 		return
@@ -63,6 +69,8 @@ func (c *phaseClock) move(from, to obs.Phase, ns int64) {
 // flush records the round's accumulated per-phase durations and counts
 // the round. Call it before the trace hooks run, so hook time is never
 // attributed to a phase.
+//
+//misvet:noalloc
 func (c *phaseClock) flush() {
 	if c.m == nil {
 		return

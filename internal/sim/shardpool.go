@@ -55,6 +55,8 @@ func newShardPool(words, shards int) *shardPool {
 // receive orders each read of p.fn after run's write of it, and the
 // done-channel send orders it before run's return — so run may swap fn
 // between calls without a race.
+//
+//misvet:noalloc
 func (p *shardPool) worker() {
 	for shard := range p.work {
 		p.fn(shard, p.bounds[shard], p.bounds[shard+1])
@@ -66,6 +68,8 @@ func (p *shardPool) worker() {
 // returns when every shard has finished. Shard 0 runs on the calling
 // goroutine. fn is typically a method value created once at engine
 // setup, so a steady-state call performs no allocations.
+//
+//misvet:noalloc
 func (p *shardPool) run(fn func(shard, lo, hi int)) {
 	p.fn = fn
 	n := len(p.bounds) - 1
