@@ -8,6 +8,7 @@
 // Usage:
 //
 //	misd -addr :8080 -jobs 2 -queue 64
+//	misd -addr :8080 -jobs 1 -autoscale-max 8   # queue-depth autoscaling pool
 //
 //	curl -X POST --data-binary @scenarios/quickstart.json localhost:8080/v1/scenarios
 //	curl -X POST --data-binary @scenarios/noisy-async.json localhost:8080/v1/scenarios
@@ -65,12 +66,15 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Addr)) error {
 	fs := flag.NewFlagSet("misd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		jobs     = fs.Int("jobs", 1, "concurrent scenario executions")
-		queue    = fs.Int("queue", 64, "queued-scenario bound (beyond it submissions get 429)")
-		trialWrk = fs.Int("trial-workers", 0, "per-scenario trial pool override (0 = honour each spec)")
-		grace    = fs.Duration("grace", 30*time.Second, "graceful shutdown budget")
-		pprofOn  = fs.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, mutex profiles) on the same port")
+		addr         = fs.String("addr", ":8080", "listen address")
+		jobs         = fs.Int("jobs", 1, "concurrent scenario executions (the autoscaler's minimum when -autoscale-max is set)")
+		autoMax      = fs.Int("autoscale-max", 0, "autoscale the job pool between -jobs and this bound on queue-depth watermarks (0 = fixed pool)")
+		autoInterval = fs.Duration("autoscale-interval", 25*time.Millisecond, "autoscaler control-loop sampling period")
+		queue        = fs.Int("queue", 64, "queued-scenario bound (beyond it submissions get 429)")
+		trialWrk     = fs.Int("trial-workers", 0, "per-scenario trial pool override (0 = honour each spec)")
+		grace        = fs.Duration("grace", 30*time.Second, "graceful shutdown budget for in-flight HTTP")
+		drainTimeout = fs.Duration("drain-timeout", 0, "bound on waiting for in-flight jobs during shutdown (0 = -grace)")
+		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof/* (CPU, heap, mutex profiles) on the same port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,11 +90,19 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 	if *trialWrk < 0 {
 		return fmt.Errorf("-trial-workers must be ≥ 0 (got %d)", *trialWrk)
 	}
+	if *autoMax != 0 && *autoMax < *jobs {
+		return fmt.Errorf("-autoscale-max must be ≥ -jobs (got %d < %d)", *autoMax, *jobs)
+	}
+	var autoscale *service.AutoscaleConfig
+	if *autoMax > 0 {
+		autoscale = &service.AutoscaleConfig{Min: *jobs, Max: *autoMax, Interval: *autoInterval}
+	}
 
 	serviceMetrics := &obs.ServiceMetrics{}
 	engineMetrics := &obs.EngineMetrics{}
 	mgr := service.New(service.Options{
 		Workers:       *jobs,
+		Autoscale:     autoscale,
 		QueueCap:      *queue,
 		TrialWorkers:  *trialWrk,
 		Metrics:       serviceMetrics,
@@ -103,7 +115,11 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	fmt.Fprintf(stdout, "misd: listening on %s (%d job workers, queue %d)\n", ln.Addr(), *jobs, *queue)
+	pool := fmt.Sprintf("%d job workers", *jobs)
+	if autoscale != nil {
+		pool = fmt.Sprintf("autoscaling %d..%d job workers", *jobs, *autoMax)
+	}
+	fmt.Fprintf(stdout, "misd: listening on %s (%s, queue %d)\n", ln.Addr(), pool, *queue)
 	if ready != nil {
 		ready(ln.Addr())
 	}
@@ -117,15 +133,27 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(net.Ad
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(stdout, "misd: shutting down")
+	// Shutdown ordering matters for load balancers: flip readiness
+	// first (readyz 503s while the HTTP surface is still fully alive),
+	// drain the job pool under its own bound, and only then stop
+	// serving — so in-flight jobs stay observable (status, SSE,
+	// results) for the whole drain window.
+	fmt.Fprintln(stdout, "misd: draining")
+	mgr.Drain()
+	drainBudget := *drainTimeout
+	if drainBudget <= 0 {
+		drainBudget = *grace
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainBudget)
+	defer cancelDrain()
+	if err := mgr.Close(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {
 		// Clients still streaming events at the deadline are cut off.
 		_ = server.Close()
-	}
-	if err := mgr.Close(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		return err
 	}
 	fmt.Fprintln(stdout, "misd: stopped")
 	return nil

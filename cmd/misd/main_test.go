@@ -195,3 +195,157 @@ func TestBadFlags(t *testing.T) {
 		t.Fatal("unlistenable address accepted")
 	}
 }
+
+// bootMisd starts run() on an ephemeral port with the given extra
+// flags and returns the base URL, the cancel that triggers graceful
+// shutdown, and the error channel run's result lands on.
+func bootMisd(t *testing.T, out io.Writer, extra ...string) (base string, cancel context.CancelFunc, errCh chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	addrCh := make(chan net.Addr, 1)
+	errCh = make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		errCh <- run(ctx, args, out, func(a net.Addr) { addrCh <- a })
+	}()
+	select {
+	case a := <-addrCh:
+		return fmt.Sprintf("http://%s", a), cancel, errCh
+	case err := <-errCh:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+	return "", nil, nil
+}
+
+// slowSpec runs for a few seconds (trials are sequential rounds over a
+// 2000-node graph), long enough to hold a drain window open.
+const slowSpec = `{"graph":{"family":"gnp","n":2000,"p":0.02},"algorithm":"feedback","trials":800,"seed":7}`
+
+// submitSpec posts a spec and returns the job ID.
+func submitSpec(t *testing.T, base, spec string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/scenarios", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit response %s: %v", body, err)
+	}
+	return sub.ID
+}
+
+// jobStatus fetches a job's status string via the public API.
+func jobStatus(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/scenarios/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view.Status
+}
+
+// TestDrainFlips503WhileJobStillRunning is the misd-level drain
+// ordering test: after SIGINT (context cancellation) the server enters
+// its drain window — readyz serves 503 and the rest of the HTTP
+// surface stays alive — while the in-flight job is still running.
+func TestDrainFlips503WhileJobStillRunning(t *testing.T) {
+	var out syncBuffer
+	base, cancel, errCh := bootMisd(t, &out, "-grace", "5s", "-drain-timeout", "30s")
+
+	id := submitSpec(t, base, slowSpec)
+	deadline := time.Now().Add(10 * time.Second)
+	for jobStatus(t, base, id) != "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	// The readiness flip races only the Drain call itself, not the
+	// drain's completion: poll until 503, then prove the job is still
+	// in flight and the status surface still serves.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/readyz")
+		if err != nil {
+			t.Fatalf("readyz during drain: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never flipped to 503 (last %d)", resp.StatusCode)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := jobStatus(t, base, id); got != "running" {
+		t.Fatalf("job %s while readyz 503s, want still running (drain must not kill it)", got)
+	}
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never shut down")
+	}
+	if !strings.Contains(out.String(), "misd: draining") {
+		t.Fatalf("missing drain log in %q", out.String())
+	}
+	if !strings.Contains(out.String(), "misd: stopped") {
+		t.Fatalf("missing shutdown log in %q", out.String())
+	}
+}
+
+// TestDrainTimeoutBoundsShutdown: a job far slower than the drain
+// budget must not hold the process hostage — -drain-timeout expires,
+// the run is cancelled (observed between trials), and run() returns
+// cleanly well inside the job's natural duration.
+func TestDrainTimeoutBoundsShutdown(t *testing.T) {
+	slow := `{"graph":{"family":"gnp","n":2000,"p":0.02},"algorithm":"feedback","trials":100000,"seed":7}`
+	base, cancel, errCh := bootMisd(t, io.Discard, "-grace", "5s", "-drain-timeout", "200ms")
+
+	id := submitSpec(t, base, slow)
+	deadline := time.Now().Add(10 * time.Second)
+	for jobStatus(t, base, id) != "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown after drain timeout: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain timeout did not bound shutdown")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %v, want bounded by the 200ms drain budget (plus slack)", elapsed)
+	}
+}

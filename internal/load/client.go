@@ -1,0 +1,162 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// submitReply is the slice of the server's submission response the
+// client needs: the job id, the cached verdict, and enough status to
+// short-circuit polling for already-finished jobs.
+type submitReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+}
+
+// do executes one schedule entry end to end: submit, classify the
+// response, attach SSE fan-out if this job claims it, poll the result
+// to completion, record. Outcome taxonomy: 429 → Rejected (that is the
+// server doing its job, not an error), transport failures / other
+// statuses / timeouts → Errors, served result → Completed.
+func (r *runner) do(ctx context.Context, req request) {
+	r.rec.Submitted.Inc()
+	reqCtx, cancel := context.WithTimeout(ctx, r.cfg.RequestTimeout)
+	defer cancel()
+
+	t0 := time.Now()
+	reply, status, err := r.submit(reqCtx, req.body)
+	submitNs := time.Since(t0).Nanoseconds()
+	switch {
+	case err != nil:
+		r.rec.Errors.Inc()
+		return
+	case status == http.StatusTooManyRequests:
+		r.rec.Rejected.Inc()
+		return
+	case status != http.StatusOK && status != http.StatusAccepted:
+		r.rec.Errors.Inc()
+		return
+	}
+
+	// Fresh jobs claim SSE fan-out while the per-run budget lasts; the
+	// subscribers race the job's own completion, which is the point —
+	// fan-out load lands while the job is streaming progress.
+	if !reply.Cached && r.cfg.Subscribers > 0 && r.subJobs.Add(-1) >= 0 {
+		for s := 0; s < r.cfg.Subscribers; s++ {
+			r.sseWG.Add(1)
+			go r.subscribe(ctx, reply.ID)
+		}
+	}
+
+	if reply.Status != "done" {
+		if !r.pollResult(reqCtx, reply.ID) {
+			r.rec.Errors.Inc()
+			return
+		}
+	}
+	r.rec.RecordComplete(submitNs, time.Since(t0).Nanoseconds(), reply.Cached)
+}
+
+// submit POSTs one spec and decodes the reply. The response body is
+// always drained so the transport's connection can be reused.
+func (r *runner) submit(ctx context.Context, body []byte) (submitReply, int, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/v1/scenarios", bytes.NewReader(body))
+	if err != nil {
+		return submitReply{}, 0, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(httpReq)
+	if err != nil {
+		return submitReply{}, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return submitReply{}, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return submitReply{}, resp.StatusCode, nil
+	}
+	var reply submitReply
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		return submitReply{}, resp.StatusCode, err
+	}
+	if reply.ID == "" {
+		return submitReply{}, resp.StatusCode, fmt.Errorf("load: submit reply missing id")
+	}
+	return reply, resp.StatusCode, nil
+}
+
+// pollResult polls /result until it serves 200 (true) or the context
+// ends / the job fails (false). 404-before-ready and 409/425-style
+// not-finished responses both surface as non-200 here and simply mean
+// "poll again".
+func (r *runner) pollResult(ctx context.Context, id string) bool {
+	url := r.cfg.BaseURL + "/v1/scenarios/" + id + "/result"
+	ticker := time.NewTicker(r.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return false
+		}
+		resp, err := r.client.Do(httpReq)
+		if err != nil {
+			return false
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return true
+		case http.StatusNotFound, http.StatusGone:
+			// Evicted or unknown: this request will never complete.
+			return false
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-ticker.C:
+		}
+	}
+}
+
+// subscribe attaches one SSE connection to a job's event stream and
+// counts frames until the server closes it (the job's terminal status
+// event) or ctx ends. Connection failures count as SSEErrors; a clean
+// close does not.
+func (r *runner) subscribe(ctx context.Context, id string) {
+	defer r.sseWG.Done()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/v1/scenarios/"+id+"/events", nil)
+	if err != nil {
+		r.rec.SSEErrors.Inc()
+		return
+	}
+	resp, err := r.client.Do(httpReq)
+	if err != nil {
+		r.rec.SSEErrors.Inc()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.rec.SSEErrors.Inc()
+		return
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		if strings.HasPrefix(scanner.Text(), "event: ") {
+			r.rec.SSEEvents.Inc()
+		}
+	}
+	// A scanner error here is almost always the context cancelling the
+	// request mid-stream; either way the stream is over.
+}

@@ -1,0 +1,348 @@
+// Package load is the engine behind misload: a deterministic
+// service-level load generator for a live misd. It drives the /v1 API
+// in closed loop (fixed concurrency) or open loop (fixed offered
+// arrival rate with Poisson or uniform interarrivals), over a workload
+// mix of cache hits (repeats of earlier bodies) and misses
+// (seed-perturbed copies of the base specs), optionally fanning SSE
+// subscribers onto submitted jobs.
+//
+// Everything the generator does — which body each request carries,
+// whether it repeats an earlier one, the interarrival gaps — is
+// precomputed from the run seed before the first byte hits the wire,
+// so two runs with the same config offer byte-identical request
+// streams and differ only in what the server makes of them. Latencies
+// land in client-side obs histograms (the same primitives the server
+// records into), the server's /metrics.json is scraped before and
+// after, and the report folds both views together, cross-checking the
+// client's miss latency against the server's queue+run telemetry so a
+// disagreement between the two clocks becomes a finding instead of a
+// silent skew.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beepmis/internal/rng"
+)
+
+// Modes and arrival processes.
+const (
+	// ModeClosed runs a fixed number of concurrent workers, each
+	// issuing its next request the moment the previous one completes —
+	// throughput floats, concurrency is pinned.
+	ModeClosed = "closed"
+	// ModeOpen dispatches requests on a precomputed arrival schedule
+	// regardless of completions — offered rate is pinned, concurrency
+	// floats (bounded by MaxInFlight as a client-protection cap).
+	ModeOpen = "open"
+	// ArrivalPoisson draws exponential interarrival gaps (a Poisson
+	// process at Rate); ArrivalUniform spaces arrivals evenly.
+	ArrivalPoisson = "poisson"
+	ArrivalUniform = "uniform"
+)
+
+// Config parameterises one load run. Zero values get defaults from
+// withDefaults; Validate rejects contradictions.
+type Config struct {
+	// BaseURL is the misd root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Mode is ModeClosed or ModeOpen.
+	Mode string
+	// Concurrency is the closed-loop worker count (default 4).
+	Concurrency int
+	// Requests is the total submission count (default 64).
+	Requests int
+	// Rate is the open-loop offered arrival rate in requests/second
+	// (default 50).
+	Rate float64
+	// Arrival is the open-loop interarrival process (default poisson).
+	Arrival string
+	// Specs are the base scenario documents of the workload mix; each
+	// miss perturbs one of them (round-robin) to a fresh seed.
+	Specs [][]byte
+	// HitFraction is the probability a request repeats an
+	// already-issued body instead of minting a fresh one (default 0, a
+	// pure-miss stream; the very first request is always a miss).
+	HitFraction float64
+	// Subscribers is the SSE fan-out attached per sampled job;
+	// SubscribeJobs is how many fresh jobs get that fan-out (default 1
+	// when Subscribers > 0). Subscribers stream until the job's
+	// terminal event closes the connection.
+	Subscribers   int
+	SubscribeJobs int
+	// Seed drives every random choice (mix, perturbed spec seeds,
+	// interarrival gaps). Default 1.
+	Seed uint64
+	// PollInterval is the result-poll period (default 2ms);
+	// RequestTimeout bounds one request's submit→result wait (default
+	// 60s); MaxInFlight caps open-loop outstanding requests (default
+	// 512) — arrivals beyond it are shed client-side and counted.
+	PollInterval   time.Duration
+	RequestTimeout time.Duration
+	MaxInFlight    int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = ModeClosed
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.Concurrency < 1 {
+		c.Concurrency = 4
+	}
+	if c.Requests < 1 {
+		c.Requests = 64
+	}
+	if c.Rate <= 0 {
+		c.Rate = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Subscribers > 0 && c.SubscribeJobs < 1 {
+		c.SubscribeJobs = 1
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 512
+	}
+	return c
+}
+
+// Validate rejects configs the schedule builder or dispatcher cannot
+// honour. Call it on the raw config; Run applies it after defaults.
+func (c Config) Validate() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("load: BaseURL required")
+	}
+	if c.Mode != "" && c.Mode != ModeClosed && c.Mode != ModeOpen {
+		return fmt.Errorf("load: unknown mode %q (want %q or %q)", c.Mode, ModeClosed, ModeOpen)
+	}
+	if c.Arrival != "" && c.Arrival != ArrivalPoisson && c.Arrival != ArrivalUniform {
+		return fmt.Errorf("load: unknown arrival %q (want %q or %q)", c.Arrival, ArrivalPoisson, ArrivalUniform)
+	}
+	if len(c.Specs) == 0 {
+		return fmt.Errorf("load: at least one base spec required")
+	}
+	if c.HitFraction < 0 || c.HitFraction > 1 {
+		return fmt.Errorf("load: hit fraction %v outside [0, 1]", c.HitFraction)
+	}
+	return nil
+}
+
+// request is one precomputed schedule entry.
+type request struct {
+	body []byte
+	// hit marks a deliberate repeat of an earlier body (the schedule's
+	// intent; the server's cached flag is the ground truth recorded).
+	hit bool
+	// gapNs is the open-loop wait before dispatching this request.
+	gapNs int64
+}
+
+// Fixed stream ids for schedule derivation, so adding a stream never
+// reshuffles the others (the same discipline the simulator uses).
+const (
+	streamMix = iota + 1
+	streamSeeds
+	streamGaps
+	streamPick
+)
+
+// buildSchedule precomputes the full request stream: bodies, hit/miss
+// choices and interarrival gaps, all from cfg.Seed. Misses rotate
+// through the base specs and rewrite each one's "seed" field to a
+// fresh 64-bit draw, which moves the content hash (seed is part of the
+// canonical surface) without touching the workload's shape; hits
+// repeat a uniformly-drawn earlier body byte-for-byte, which the
+// server's content-addressed cache must absorb.
+func buildSchedule(cfg Config) ([]request, error) {
+	src := rng.New(cfg.Seed)
+	var (
+		mix   = src.Stream(streamMix)
+		seeds = src.Stream(streamSeeds)
+		gaps  = src.Stream(streamGaps)
+		pick  = src.Stream(streamPick)
+	)
+	meanGap := float64(time.Second) / cfg.Rate
+	var issued [][]byte
+	reqs := make([]request, cfg.Requests)
+	for i := range reqs {
+		hit := len(issued) > 0 && mix.Float64() < cfg.HitFraction
+		var body []byte
+		if hit {
+			body = issued[pick.Intn(len(issued))]
+		} else {
+			base := cfg.Specs[len(issued)%len(cfg.Specs)]
+			b, err := perturbSeed(base, seeds.Uint64())
+			if err != nil {
+				return nil, fmt.Errorf("load: spec %d: %w", len(issued)%len(cfg.Specs), err)
+			}
+			body = b
+			issued = append(issued, body)
+		}
+		var gap int64
+		if cfg.Mode == ModeOpen {
+			switch cfg.Arrival {
+			case ArrivalUniform:
+				gap = int64(meanGap)
+			default:
+				gap = int64(meanGap * gaps.ExpFloat64())
+			}
+		}
+		reqs[i] = request{body: body, hit: hit, gapNs: gap}
+	}
+	return reqs, nil
+}
+
+// perturbSeed rewrites doc's top-level "seed" to the given value
+// (forced non-zero: the scenario compiler normalises 0 to 1, which
+// would collide two "distinct" misses). The round-trip through a map
+// re-marshals with sorted keys, so output is deterministic for a given
+// (doc, seed) pair.
+func perturbSeed(doc []byte, seed uint64) ([]byte, error) {
+	var m map[string]any
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	m["seed"] = seed
+	return json.Marshal(m)
+}
+
+// Run executes one load run and returns its report. The sequence:
+// build the schedule, scrape /metrics.json, dispatch, wait for every
+// in-flight request and SSE subscriber, scrape again, fold and
+// cross-check. A scrape failure degrades to a finding rather than
+// failing the run — the client-side view is still a complete report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	schedule, err := buildSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:      cfg,
+		schedule: schedule,
+		client:   &http.Client{},
+	}
+	r.subJobs.Store(int64(cfg.SubscribeJobs))
+
+	var findings []string
+	before, errBefore := scrapeMetrics(ctx, r.client, cfg.BaseURL)
+	if errBefore != nil {
+		findings = append(findings, fmt.Sprintf("metrics scrape before run failed: %v", errBefore))
+	}
+
+	start := time.Now()
+	switch cfg.Mode {
+	case ModeOpen:
+		r.runOpen(ctx)
+	default:
+		r.runClosed(ctx)
+	}
+	r.sseWG.Wait()
+	wall := time.Since(start)
+
+	var server *ServerView
+	if errBefore == nil {
+		after, errAfter := scrapeMetrics(ctx, r.client, cfg.BaseURL)
+		if errAfter != nil {
+			findings = append(findings, fmt.Sprintf("metrics scrape after run failed: %v", errAfter))
+		} else {
+			server = foldServerView(before, after)
+		}
+	}
+
+	rep := buildReport(cfg, &r.rec, wall, server, findings)
+	crossCheck(rep, cfg)
+	return rep, nil
+}
+
+// runner is one run's mutable state.
+type runner struct {
+	cfg      Config
+	schedule []request
+	client   *http.Client
+	rec      Recorder
+	// subJobs is the remaining number of fresh jobs to attach SSE
+	// fan-out to; sseWG tracks the subscriber goroutines.
+	subJobs atomic.Int64
+	sseWG   sync.WaitGroup
+}
+
+// runClosed drives the schedule with Concurrency workers pulling the
+// next index as soon as their previous request completes.
+func (r *runner) runClosed(ctx context.Context) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(r.schedule) || ctx.Err() != nil {
+					return
+				}
+				r.do(ctx, r.schedule[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen dispatches on the precomputed arrival schedule, never
+// waiting for completions. Pacing is against absolute targets (each
+// gap advances a deadline) so dispatch jitter does not accumulate into
+// rate drift. Arrivals beyond MaxInFlight are shed and counted — the
+// cap protects the client; the server's own backpressure (429) is what
+// the run is measuring.
+func (r *runner) runOpen(ctx context.Context) {
+	sem := make(chan struct{}, r.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	target := time.Now()
+	for i := range r.schedule {
+		target = target.Add(time.Duration(r.schedule[i].gapNs))
+		if d := time.Until(target); d > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(d):
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(req request) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r.do(ctx, req)
+			}(r.schedule[i])
+		default:
+			r.rec.Shed.Inc()
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,55 @@
+package load
+
+import "beepmis/internal/obs"
+
+// Recorder is misload's client-side telemetry bundle: the same
+// lock-free obs primitives the server records into, pointed at the
+// other end of the wire. Workers record concurrently without a lock,
+// and the report folds the histograms into quantiles at the end.
+// The zero value is ready to use.
+type Recorder struct {
+	// SubmitNs is the POST /v1/scenarios round-trip per accepted
+	// submission; E2ENs is submit→result-available, the latency a
+	// synchronous caller would see. MissNs is E2ENs restricted to
+	// requests that scheduled a fresh execution (server cached=false) —
+	// the population the server's queue+run histograms describe, so the
+	// client/server cross-check compares like with like.
+	SubmitNs obs.Histogram
+	E2ENs    obs.Histogram
+	MissNs   obs.Histogram
+	// Submitted counts dispatch attempts; Completed counts requests
+	// that reached a served result. CacheHits counts submissions the
+	// server absorbed into an existing job (cache hit or coalesce).
+	Submitted obs.Counter
+	Completed obs.Counter
+	CacheHits obs.Counter
+	// Rejected counts 429 backpressure responses; Errors counts
+	// transport failures, non-2xx statuses and result timeouts; Shed
+	// counts open-loop arrivals dropped at the client's own in-flight
+	// cap (offered load the client never put on the wire).
+	Rejected obs.Counter
+	Errors   obs.Counter
+	Shed     obs.Counter
+	// SSEEvents counts server-sent events received across every
+	// subscriber; SSEErrors counts subscriber connections that failed.
+	SSEEvents obs.Counter
+	SSEErrors obs.Counter
+}
+
+// RecordComplete is the per-request hot path: exactly one histogram
+// observation per latency series and the outcome counters, nothing
+// else. It must stay allocation-free — at thousands of in-flight
+// requests, a per-completion allocation would make the load generator
+// the bottleneck it is trying to find.
+//
+//misvet:noalloc
+func (r *Recorder) RecordComplete(submitNs, e2eNs int64, cached bool) {
+	r.SubmitNs.Observe(submitNs)
+	r.E2ENs.Observe(e2eNs)
+	if cached {
+		r.CacheHits.Inc()
+	} else {
+		r.MissNs.Observe(e2eNs)
+	}
+	r.Completed.Inc()
+}

@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"beepmis/internal/obs"
+)
+
+// step is one sample fed to the scaler with the expected outcome.
+type step struct {
+	depth      int
+	wantDelta  int
+	wantReason string
+}
+
+// TestScalerTransitions table-drives the watermark/hysteresis state
+// machine: sustained bursts scale up one worker per hold period,
+// sustained idleness scales down, and flapping input — samples that
+// alternate bands faster than the hold — never moves the pool.
+func TestScalerTransitions(t *testing.T) {
+	cfg := AutoscaleConfig{Min: 1, Max: 3, High: 2, Low: 0, UpHold: 2, DownHold: 2, Interval: time.Millisecond}.withDefaults()
+	cases := []struct {
+		name     string
+		steps    []step
+		wantSize int
+	}{
+		{
+			name: "burst scales up one step per hold period",
+			steps: []step{
+				{depth: 5}, {depth: 5, wantDelta: +1, wantReason: ReasonQueueHigh},
+				{depth: 5}, {depth: 5, wantDelta: +1, wantReason: ReasonQueueHigh},
+			},
+			wantSize: 3,
+		},
+		{
+			name: "max bound holds under continued pressure",
+			steps: []step{
+				{depth: 9}, {depth: 9, wantDelta: +1, wantReason: ReasonQueueHigh},
+				{depth: 9}, {depth: 9, wantDelta: +1, wantReason: ReasonQueueHigh},
+				{depth: 9}, {depth: 9}, {depth: 9}, {depth: 9},
+			},
+			wantSize: 3,
+		},
+		{
+			name: "idle scales back down to min",
+			steps: []step{
+				{depth: 4}, {depth: 4, wantDelta: +1, wantReason: ReasonQueueHigh},
+				{depth: 0}, {depth: 0, wantDelta: -1, wantReason: ReasonQueueIdle},
+				{depth: 0}, {depth: 0}, {depth: 0}, // min bound: no further shrink
+			},
+			wantSize: 1,
+		},
+		{
+			name: "flapping input never accumulates a decision",
+			steps: []step{
+				{depth: 5}, {depth: 0}, {depth: 5}, {depth: 0},
+				{depth: 5}, {depth: 0}, {depth: 5}, {depth: 0},
+			},
+			wantSize: 1,
+		},
+		{
+			name: "dead-band samples reset both streaks",
+			steps: []step{
+				{depth: 5}, {depth: 1}, {depth: 5}, {depth: 1},
+				{depth: 5}, {depth: 1},
+			},
+			wantSize: 1,
+		},
+		{
+			name: "down hysteresis survives a single idle dip",
+			steps: []step{
+				{depth: 5}, {depth: 5, wantDelta: +1, wantReason: ReasonQueueHigh},
+				{depth: 0}, {depth: 5}, {depth: 0}, {depth: 5},
+			},
+			wantSize: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newScaler(cfg)
+			for i, st := range tc.steps {
+				delta, reason := s.observe(st.depth)
+				if delta != st.wantDelta || reason != st.wantReason {
+					t.Fatalf("step %d (depth %d): delta=%d reason=%q, want delta=%d reason=%q",
+						i, st.depth, delta, reason, st.wantDelta, st.wantReason)
+				}
+			}
+			if s.size != tc.wantSize {
+				t.Fatalf("final size %d, want %d", s.size, tc.wantSize)
+			}
+		})
+	}
+}
+
+// TestAutoscaleConfigDefaults pins the zero-value normalisation,
+// including the watermark-band repair that keeps High strictly above
+// Low.
+func TestAutoscaleConfigDefaults(t *testing.T) {
+	d := AutoscaleConfig{}.withDefaults()
+	if d.Min != 1 || d.Max != 4 || d.High != 2 || d.Low != 0 || d.UpHold != 2 || d.DownHold != 4 || d.Interval != 25*time.Millisecond {
+		t.Fatalf("zero-value defaults: %+v", d)
+	}
+	overlapped := AutoscaleConfig{Low: 5, High: 3}.withDefaults()
+	if overlapped.High <= overlapped.Low {
+		t.Fatalf("overlapping watermarks survived defaults: %+v", overlapped)
+	}
+	pinned := AutoscaleConfig{Min: 8}.withDefaults()
+	if pinned.Max != 8 {
+		t.Fatalf("Max below Min survived defaults: %+v", pinned)
+	}
+}
+
+// TestAutoscalerScalesUpAndDown drives the real pool end to end: a
+// burst of held jobs pushes the queue past the high watermark and the
+// pool grows to max (scale-up events counted); releasing the jobs
+// idles the queue and the pool shrinks back to min (scale-down events
+// counted). The queue-depth high-water gauge witnesses the burst.
+func TestAutoscalerScalesUpAndDown(t *testing.T) {
+	sm := &obs.ServiceMetrics{}
+	release := make(chan struct{})
+	m := newTestManager(t, Options{
+		QueueCap: 16,
+		Metrics:  sm,
+		Autoscale: &AutoscaleConfig{
+			Min: 1, Max: 3, High: 2, Low: 0,
+			UpHold: 1, DownHold: 2, Interval: 2 * time.Millisecond,
+		},
+	})
+	m.testHookBeforeRun = func(*Job) { <-release }
+
+	for i := 0; i < 8; i++ {
+		spec := mustSpec(t, fmt.Sprintf(`{
+  "graph": {"family": "gnp", "n": 40, "p": 0.3},
+  "algorithm": "feedback",
+  "trials": 1,
+  "seed": %d
+}`, i+1))
+		if _, _, err := m.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened (pool %d, ups %d, downs %d)",
+					what, sm.PoolSize.Value(), sm.ScaleUps.Value(), sm.ScaleDowns.Value())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("scale-up to max", func() bool { return sm.PoolSize.Value() == 3 })
+	if got := sm.ScaleUps.Value(); got < 2 {
+		t.Fatalf("scale-up events %d, want ≥ 2", got)
+	}
+	if hw := sm.QueueHighWater.Value(); hw < 4 {
+		t.Fatalf("queue high-water %d, want ≥ 4 (burst of 8 over ≤ 3 workers)", hw)
+	}
+
+	close(release)
+	waitFor("scale-down to min", func() bool { return sm.PoolSize.Value() == 1 })
+	if got := sm.ScaleDowns.Value(); got < 2 {
+		t.Fatalf("scale-down events %d, want ≥ 2", got)
+	}
+	// Every submitted job still completes.
+	for _, view := range m.Jobs() {
+		job, _ := m.Job(view.ID)
+		if v := waitDone(t, m, job); v.Status != StatusDone {
+			t.Fatalf("job %s finished %s: %s", v.ID, v.Status, v.Error)
+		}
+	}
+}
+
+// TestAutoscalerResultsByteIdentical is the determinism end-to-end:
+// the same scenario set run through the fixed pool and through an
+// actively-scaling pool must produce byte-identical result JSON — the
+// worker count is a performance knob, never a semantic one. Run with
+// -race in CI, where the scaling control loop races the workers.
+func TestAutoscalerResultsByteIdentical(t *testing.T) {
+	specs := make([]string, 5)
+	for i := range specs {
+		specs[i] = fmt.Sprintf(`{
+  "graph": {"family": "gnp", "n": 70, "p": 0.3},
+  "algorithm": "feedback",
+  "trials": 2,
+  "seed": %d
+}`, i+100)
+	}
+
+	results := func(opts Options) map[string][]byte {
+		m := newTestManager(t, opts)
+		jobs := make([]*Job, 0, len(specs))
+		for _, s := range specs {
+			job, _, err := m.Submit(mustSpec(t, s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, job)
+		}
+		out := make(map[string][]byte, len(jobs))
+		for _, job := range jobs {
+			if v := waitDone(t, m, job); v.Status != StatusDone {
+				t.Fatalf("job %s finished %s: %s", v.ID, v.Status, v.Error)
+			}
+			b, _ := m.Result(job)
+			out[job.ID] = b
+		}
+		return out
+	}
+
+	fixed := results(Options{Workers: 2, QueueCap: 16})
+	scaled := results(Options{
+		QueueCap: 16,
+		Autoscale: &AutoscaleConfig{
+			Min: 1, Max: 4, High: 1, Low: 0,
+			UpHold: 1, DownHold: 1, Interval: time.Millisecond,
+		},
+	})
+
+	if len(fixed) != len(scaled) {
+		t.Fatalf("job counts differ: fixed %d, autoscaled %d", len(fixed), len(scaled))
+	}
+	for id, want := range fixed {
+		got, ok := scaled[id]
+		if !ok {
+			t.Fatalf("autoscaled run missing job %s", id)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("job %s: autoscaled result differs from fixed-pool result", id)
+		}
+	}
+}
+
+// TestDrainFlipsReadyBeforeJobsFinish pins the graceful-drain
+// ordering: the instant Drain is called, readiness is false and new
+// submissions are refused — while an in-flight job is still running
+// and its eventual result still lands. Close completes the drain.
+func TestDrainFlipsReadyBeforeJobsFinish(t *testing.T) {
+	release := make(chan struct{})
+	m := newTestManager(t, Options{Workers: 1, QueueCap: 4})
+	m.testHookBeforeRun = func(*Job) { <-release }
+
+	job, _, err := m.Submit(mustSpec(t, testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker holds the job in StatusRunning.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.View(job).Status != StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	m.Drain()
+	if m.Ready() {
+		t.Fatal("manager still ready after Drain with a job in flight")
+	}
+	if v := m.View(job); v.Status != StatusRunning {
+		t.Fatalf("drain disturbed the in-flight job: %s", v.Status)
+	}
+	if _, _, err := m.Submit(mustSpec(t, `{
+  "graph": {"family": "gnp", "n": 30, "p": 0.4},
+  "algorithm": "feedback",
+  "seed": 999
+}`)); err != ErrClosed {
+		t.Fatalf("submission during drain: err=%v, want ErrClosed", err)
+	}
+
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.View(job); v.Status != StatusDone {
+		t.Fatalf("in-flight job after drained Close: %s (%s)", v.Status, v.Error)
+	}
+	if _, ok := m.Result(job); !ok {
+		t.Fatal("result not servable after drain completed")
+	}
+}

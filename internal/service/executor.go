@@ -1,0 +1,301 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beepmis/internal/obs"
+)
+
+// Executor is the worker-pool strategy behind a Manager: it owns the
+// goroutines that drain the job queue and hand each job to the
+// manager's execute function. Splitting it out of the Manager is what
+// lets pool policies vary independently of job bookkeeping — the fixed
+// pool and the autoscaler here, a cluster scheduler later — without
+// touching submission, caching, or fan-out.
+//
+// The contract: Start is called exactly once, before any job is
+// queued; the executor must keep at least one worker receiving from
+// queue until it closes; Wait is called exactly once, after the queue
+// has been closed and drained, and blocks until every worker goroutine
+// has exited. Executors never decide job outcomes — the run function
+// owns the shutdown-race policy (a dequeued job during Close fails
+// with ErrClosed no matter which pool dequeued it).
+type Executor interface {
+	// Start launches the pool's workers. Each worker receives jobs
+	// from queue and calls run until queue closes. The metrics bundle
+	// is the manager's; executors keep its PoolSize gauge current and
+	// count their scaling decisions on it.
+	Start(queue <-chan *Job, run func(*Job), metrics *obs.ServiceMetrics)
+	// Wait blocks until every worker has exited. The queue must be
+	// closed first, or Wait blocks forever.
+	Wait()
+	// Workers reports the commanded worker count (the pool-size
+	// gauge's value, readable without the metrics bundle).
+	Workers() int
+}
+
+// FixedPool is the classic executor: n workers for the process
+// lifetime. It is the default Manager pool and the baseline the
+// autoscaler must stay byte-identical to.
+type FixedPool struct {
+	n  int
+	wg sync.WaitGroup
+}
+
+// NewFixedPool returns a fixed executor of max(1, workers) workers.
+func NewFixedPool(workers int) *FixedPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &FixedPool{n: workers}
+}
+
+// Start launches the n workers.
+func (p *FixedPool) Start(queue <-chan *Job, run func(*Job), metrics *obs.ServiceMetrics) {
+	metrics.PoolSize.Set(int64(p.n))
+	p.wg.Add(p.n)
+	for i := 0; i < p.n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range queue {
+				run(job)
+			}
+		}()
+	}
+}
+
+// Wait blocks until all workers have exited (queue closed).
+func (p *FixedPool) Wait() { p.wg.Wait() }
+
+// Workers returns the fixed pool size.
+func (p *FixedPool) Workers() int { return p.n }
+
+// AutoscaleConfig tunes the autoscaling executor. The zero value of
+// any field means its default; see the field comments. Watermarks are
+// queue depths (jobs admitted but not yet dequeued).
+type AutoscaleConfig struct {
+	// Min and Max bound the worker count. Defaults: Min 1, Max
+	// max(Min, 4).
+	Min, Max int
+	// High is the queue depth at or above which the pool grows
+	// (default 2); Low is the depth at or below which it shrinks
+	// (default 0 — only an empty queue scales down). High is clamped
+	// to at least Low+1 so the bands never overlap.
+	High, Low int
+	// UpHold / DownHold are the consecutive control-loop samples a
+	// watermark must hold before the pool acts — the hysteresis that
+	// keeps flapping input from oscillating the pool. Defaults: UpHold
+	// 2, DownHold 4.
+	UpHold, DownHold int
+	// Interval is the control-loop sampling period (default 25ms).
+	Interval time.Duration
+}
+
+// withDefaults returns the config with every zero field defaulted and
+// the watermark bands made consistent.
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		if c.Max == 0 && c.Min <= 4 {
+			c.Max = 4
+		} else {
+			c.Max = c.Min
+		}
+	}
+	if c.High == 0 {
+		c.High = 2
+	}
+	if c.High <= c.Low {
+		c.High = c.Low + 1
+	}
+	if c.UpHold < 1 {
+		c.UpHold = 2
+	}
+	if c.DownHold < 1 {
+		c.DownHold = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Scaling decision reasons, exposed as the reason label of
+// beepmis_service_scale_events_total.
+const (
+	// ReasonQueueHigh labels scale-ups: queue depth held at or above
+	// the high watermark.
+	ReasonQueueHigh = "queue_high"
+	// ReasonQueueIdle labels scale-downs: queue depth held at or below
+	// the low watermark.
+	ReasonQueueIdle = "queue_idle"
+)
+
+// scaler is the autoscaler's decision core: a pure state machine from
+// queue-depth samples to worker-count deltas, separated from the
+// goroutine mechanics so the watermark/hysteresis transitions are
+// table-testable without clocks or channels.
+type scaler struct {
+	cfg  AutoscaleConfig
+	size int
+	// upStreak / downStreak count consecutive samples in the high/low
+	// band; a sample in the dead band between the watermarks resets
+	// both, so flapping input never accumulates towards a decision.
+	upStreak, downStreak int
+}
+
+// newScaler starts the machine at the configured minimum size. The
+// config must already have defaults applied.
+func newScaler(cfg AutoscaleConfig) *scaler {
+	return &scaler{cfg: cfg, size: cfg.Min}
+}
+
+// observe feeds one queue-depth sample and returns the worker-count
+// delta to apply (+1, -1 or 0) and, for non-zero deltas, the decision
+// reason. The scaler applies the delta to its own size tracking; the
+// caller applies it to the real pool.
+func (s *scaler) observe(depth int) (delta int, reason string) {
+	switch {
+	case depth >= s.cfg.High:
+		s.downStreak = 0
+		s.upStreak++
+		if s.upStreak >= s.cfg.UpHold && s.size < s.cfg.Max {
+			s.upStreak = 0
+			s.size++
+			return +1, ReasonQueueHigh
+		}
+	case depth <= s.cfg.Low:
+		s.upStreak = 0
+		s.downStreak++
+		if s.downStreak >= s.cfg.DownHold && s.size > s.cfg.Min {
+			s.downStreak = 0
+			s.size--
+			return -1, ReasonQueueIdle
+		}
+	default:
+		s.upStreak, s.downStreak = 0, 0
+	}
+	return 0, ""
+}
+
+// AutoscalePool is the autoscaling executor: a worker pool that grows
+// on sustained queue-depth pressure and shrinks back when the queue
+// goes idle, within [Min, Max], with hysteresis on both edges. Every
+// decision is instrumented — the pool-size gauge moves, and a scale
+// event counter labelled with the decision's direction and reason
+// increments — so a /metrics scrape tells the full scaling story.
+//
+// Scaling is a performance decision only: job results are a pure
+// function of the scenario spec, so any worker count produces
+// byte-identical outputs (TestAutoscalerResultsByteIdentical holds the
+// pool to that).
+type AutoscalePool struct {
+	cfg     AutoscaleConfig
+	queue   <-chan *Job
+	run     func(*Job)
+	metrics *obs.ServiceMetrics
+
+	// size is the commanded worker count, mirrored to the PoolSize
+	// gauge; atomic because Workers() races the control loop.
+	size atomic.Int64
+	// quit carries one token per scale-down decision; the first worker
+	// to see one (between jobs) exits. Buffered to Max so the control
+	// loop never blocks on a busy pool.
+	quit    chan struct{}
+	stopCtl chan struct{}
+	wg      sync.WaitGroup // workers
+	ctlWg   sync.WaitGroup // control loop
+}
+
+// NewAutoscalePool returns an autoscaling executor with cfg's zero
+// fields defaulted.
+func NewAutoscalePool(cfg AutoscaleConfig) *AutoscalePool {
+	cfg = cfg.withDefaults()
+	return &AutoscalePool{
+		cfg:     cfg,
+		quit:    make(chan struct{}, cfg.Max),
+		stopCtl: make(chan struct{}),
+	}
+}
+
+// Start launches Min workers and the control loop.
+func (p *AutoscalePool) Start(queue <-chan *Job, run func(*Job), metrics *obs.ServiceMetrics) {
+	p.queue, p.run, p.metrics = queue, run, metrics
+	p.size.Store(int64(p.cfg.Min))
+	metrics.PoolSize.Set(int64(p.cfg.Min))
+	for i := 0; i < p.cfg.Min; i++ {
+		p.spawn()
+	}
+	p.ctlWg.Add(1)
+	go p.control()
+}
+
+// spawn adds one worker. Workers exit when the queue closes or when
+// they pick up a scale-down token between jobs — never mid-job.
+func (p *AutoscalePool) spawn() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.quit:
+				return
+			case job, ok := <-p.queue:
+				if !ok {
+					return
+				}
+				p.run(job)
+			}
+		}
+	}()
+}
+
+// control samples the queue depth every Interval and applies the
+// scaler's decisions until Wait stops it.
+func (p *AutoscalePool) control() {
+	defer p.ctlWg.Done()
+	ticker := time.NewTicker(p.cfg.Interval)
+	defer ticker.Stop()
+	st := newScaler(p.cfg)
+	for {
+		select {
+		case <-p.stopCtl:
+			return
+		case <-ticker.C:
+			delta, _ := st.observe(len(p.queue))
+			switch delta {
+			case +1:
+				p.spawn()
+				p.size.Store(int64(st.size))
+				p.metrics.PoolSize.Set(int64(st.size))
+				p.metrics.ScaleUps.Inc()
+			case -1:
+				// Buffered to Max, and tokens only outnumber workers
+				// transiently, so this never blocks; the default arm is
+				// pure defence.
+				select {
+				case p.quit <- struct{}{}:
+				default:
+				}
+				p.size.Store(int64(st.size))
+				p.metrics.PoolSize.Set(int64(st.size))
+				p.metrics.ScaleDowns.Inc()
+			}
+		}
+	}
+}
+
+// Wait stops the control loop and blocks until every worker has
+// exited (the queue must be closed first).
+func (p *AutoscalePool) Wait() {
+	close(p.stopCtl)
+	p.ctlWg.Wait()
+	p.wg.Wait()
+}
+
+// Workers returns the commanded worker count.
+func (p *AutoscalePool) Workers() int { return int(p.size.Load()) }

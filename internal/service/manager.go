@@ -114,6 +114,17 @@ type Options struct {
 	// results. An evicted scenario simply re-executes on resubmission;
 	// determinism guarantees the same bytes.
 	MaxJobs int
+	// Autoscale, when non-nil, replaces the fixed worker pool with the
+	// autoscaling executor: the pool grows towards Autoscale.Max on
+	// sustained queue-depth pressure and shrinks back to Autoscale.Min
+	// when the queue idles (Workers is ignored; set Autoscale.Min
+	// instead). Results are unaffected — worker count is a performance
+	// knob — but wall-clock capacity follows load.
+	Autoscale *AutoscaleConfig
+	// Executor overrides the pool strategy outright (the seam a
+	// cluster backend plugs into). When set, Workers and Autoscale are
+	// ignored.
+	Executor Executor
 	// Metrics receives the manager's telemetry (queue depth, latency
 	// histograms, cache and subscriber counters). Nil gets a private
 	// bundle, so the instrumentation points never branch; pass one to
@@ -125,20 +136,22 @@ type Options struct {
 	EngineMetrics *obs.EngineMetrics
 }
 
-// Manager owns the job pool and the result cache.
+// Manager owns the job queue and the result cache; its Executor owns
+// the workers that drain the queue.
 type Manager struct {
 	opts    Options
 	metrics *obs.ServiceMetrics
+	exec    Executor
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for listing
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	closed   bool
+	draining bool
 
 	queue  chan *Job
 	ctx    context.Context
 	cancel context.CancelFunc
-	wg     sync.WaitGroup
 
 	// testHookBeforeRun, when non-nil, runs on the worker goroutine
 	// before each execution — tests use it to hold a job in
@@ -146,7 +159,9 @@ type Manager struct {
 	testHookBeforeRun func(*Job)
 }
 
-// New starts a Manager's worker pool.
+// New starts a Manager's worker pool: Options.Executor if set, the
+// autoscaling pool if Options.Autoscale is set, the fixed pool of
+// Options.Workers otherwise.
 func New(opts Options) *Manager {
 	if opts.Workers <= 0 {
 		opts.Workers = 1
@@ -169,10 +184,15 @@ func New(opts Options) *Manager {
 		ctx:     ctx,
 		cancel:  cancel,
 	}
-	m.wg.Add(opts.Workers)
-	for i := 0; i < opts.Workers; i++ {
-		go m.worker()
+	switch {
+	case opts.Executor != nil:
+		m.exec = opts.Executor
+	case opts.Autoscale != nil:
+		m.exec = NewAutoscalePool(*opts.Autoscale)
+	default:
+		m.exec = NewFixedPool(opts.Workers)
 	}
+	m.exec.Start(m.queue, m.execute, m.metrics)
 	return m
 }
 
@@ -183,7 +203,7 @@ func New(opts Options) *Manager {
 func (m *Manager) Submit(compiled *scenario.Compiled) (*Job, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed || m.draining {
 		return nil, false, ErrClosed
 	}
 	if job, ok := m.jobs[compiled.Hash]; ok {
@@ -213,6 +233,11 @@ func (m *Manager) Submit(compiled *scenario.Compiled) (*Job, bool, error) {
 	m.order = append(m.order, job.ID)
 	m.metrics.CacheMisses.Inc()
 	m.metrics.QueueDepth.Add(1)
+	// Submissions are serialised under m.mu, so the check-then-set on
+	// the high-water gauge cannot lose an update.
+	if depth := m.metrics.QueueDepth.Value(); depth > m.metrics.QueueHighWater.Value() {
+		m.metrics.QueueHighWater.Set(depth)
+	}
 	m.evictLocked()
 	return job, false, nil
 }
@@ -337,14 +362,26 @@ func (m *Manager) Unsubscribe(job *Job, ch <-chan scenario.Event) {
 	}
 }
 
-// Ready reports whether the manager accepts submissions — false once
-// Close has begun. The /v1/readyz endpoint serves it, so a load
-// balancer stops routing to a draining instance while liveness
+// Ready reports whether the manager accepts submissions — false the
+// moment Drain or Close begins. The /v1/readyz endpoint serves it, so
+// a load balancer stops routing to a draining instance while liveness
 // (/v1/healthz) stays green until the process actually exits.
 func (m *Manager) Ready() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return !m.closed
+	return !m.closed && !m.draining
+}
+
+// Drain marks the manager not-ready without yet touching the pool:
+// readiness flips immediately (new submissions get ErrClosed, the
+// readyz probe 503s) while queued and running jobs keep executing and
+// every result stays servable. It is the first step of a graceful
+// shutdown — call Close afterwards to actually stop the workers.
+// Idempotent.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
 }
 
 // Metrics returns the manager's telemetry bundle (the one passed in
@@ -372,7 +409,7 @@ func (m *Manager) Close(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
-		m.wg.Wait()
+		m.exec.Wait()
 		close(done)
 	}()
 	select {
@@ -388,22 +425,20 @@ func (m *Manager) Close(ctx context.Context) error {
 	}
 }
 
-// worker executes queued jobs until the queue closes. Once Close has
-// begun, dequeued jobs fail fast instead of starting — Close's drain
-// loop consumes the same channel, and whichever side wins the race
-// must apply the same policy.
-func (m *Manager) worker() {
-	defer m.wg.Done()
-	for job := range m.queue {
-		m.mu.Lock()
-		closed := m.closed
-		m.mu.Unlock()
-		if closed || m.ctx.Err() != nil {
-			m.finish(job, nil, ErrClosed)
-			continue
-		}
-		m.run(job)
+// execute is the function every executor's workers hand dequeued jobs
+// to. Once Close has begun, dequeued jobs fail fast instead of
+// starting — Close's drain loop consumes the same channel, and
+// whichever side wins the race must apply the same policy. (Draining
+// alone does not fail jobs: Drain stops admissions, not execution.)
+func (m *Manager) execute(job *Job) {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed || m.ctx.Err() != nil {
+		m.finish(job, nil, ErrClosed)
+		return
 	}
+	m.run(job)
 }
 
 // run executes one job and caches its outcome.
@@ -505,7 +540,7 @@ func (m *Manager) StatsNow() Stats {
 	defer m.mu.Unlock()
 	s := Stats{
 		Jobs:    len(m.jobs),
-		Workers: m.opts.Workers,
+		Workers: m.exec.Workers(),
 		Queue:   map[string]int{"cap": m.opts.QueueCap, "len": len(m.queue)},
 	}
 	for _, job := range m.jobs {

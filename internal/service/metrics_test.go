@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -238,9 +240,13 @@ func TestRejectedSubmissionCounted(t *testing.T) {
 }
 
 // TestReadyzSplitsFromHealthz: both probes are green while serving;
-// once Close begins, readiness flips to 503 while liveness stays 200.
+// the moment Drain begins — with a job still running, before the drain
+// completes — readiness flips to 503 while liveness stays 200, and the
+// split persists through Close.
 func TestReadyzSplitsFromHealthz(t *testing.T) {
 	m := New(Options{Workers: 1})
+	release := make(chan struct{})
+	m.testHookBeforeRun = func(*Job) { <-release }
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
 
@@ -258,6 +264,32 @@ func TestReadyzSplitsFromHealthz(t *testing.T) {
 	if got := status("/v1/readyz"); got != http.StatusOK {
 		t.Fatalf("readyz %d, want 200", got)
 	}
+
+	// Put a job in flight and hold it there, then start draining: the
+	// readiness flip must be observable before the drain completes.
+	job, _, err := m.Submit(mustSpec(t, testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.View(job).Status != StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Drain()
+	if got := status("/v1/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain %d, want 503 before the drain completes", got)
+	}
+	if got := status("/v1/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz during drain %d, want 200 (liveness persists)", got)
+	}
+	if v := m.View(job); v.Status != StatusRunning {
+		t.Fatalf("job should still be running while readyz 503s, got %s", v.Status)
+	}
+
+	close(release)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := m.Close(ctx); err != nil {
@@ -278,4 +310,69 @@ func mustJob(t *testing.T, m *Manager, id string) *Job {
 		t.Fatalf("job %s not found", id)
 	}
 	return job
+}
+
+// TestSSEFanoutThousandSubscribers is the fan-out stress test: one job,
+// a thousand subscribers, half of which never drain. The invariant is
+// exact accounting — every published event either lands in some
+// subscriber's channel or increments the dropped counter, so
+// delivered + dropped must equal events × subscribers with no slack in
+// either direction. Afterwards the subscriber gauge returns to zero.
+func TestSSEFanoutThousandSubscribers(t *testing.T) {
+	const (
+		subscribers = 1000
+		active      = 500 // drained concurrently; the rest sit on full buffers
+		events      = 300 // > the 256-slot subscriber buffer, forcing drops
+	)
+	m := newTestManager(t, Options{})
+	sm := m.Metrics()
+	job := newBareJob()
+
+	chans := make([]<-chan scenario.Event, subscribers)
+	for i := range chans {
+		_, chans[i] = m.Subscribe(job)
+	}
+	if got := sm.Subscribers.Value(); got != subscribers {
+		t.Fatalf("subscriber gauge %d, want %d", got, subscribers)
+	}
+
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < active; i++ {
+		wg.Add(1)
+		go func(ch <-chan scenario.Event) {
+			defer wg.Done()
+			for range ch {
+				delivered.Add(1)
+			}
+		}(chans[i])
+	}
+
+	for i := 0; i < events; i++ {
+		m.publish(job, scenario.Event{Type: scenario.EventRound, Round: i + 1})
+	}
+	m.finish(job, []byte("{}"), nil) // closes every subscriber channel
+	wg.Wait()
+
+	// Events parked in the never-drained buffers were delivered, not
+	// dropped; count them so the accounting below is exact.
+	for _, ch := range chans[active:] {
+		for range ch {
+			delivered.Add(1)
+		}
+	}
+
+	dropped := sm.EventsDropped.Value()
+	if total := uint64(delivered.Load()) + dropped; total != subscribers*events {
+		t.Fatalf("delivered %d + dropped %d = %d, want exactly %d",
+			delivered.Load(), dropped, total, subscribers*events)
+	}
+	// 500 undrained subscribers each overflow a 256-slot buffer over 300
+	// events, so drops are guaranteed, not incidental.
+	if want := uint64((subscribers - active) * (events - 256)); dropped < want {
+		t.Fatalf("dropped %d, want ≥ %d from the undrained half alone", dropped, want)
+	}
+	if got := sm.Subscribers.Value(); got != 0 {
+		t.Fatalf("subscriber gauge %d after finish, want 0", got)
+	}
 }

@@ -19,6 +19,11 @@
 #      RMAT, configmodel, and Batagelj–Brandes G(n,p) workloads — the
 #      records' build_ns / edges_per_sec fields are the pipeline's own
 #      trajectory, alongside a sparse-engine run over each built graph.
+#   6. Service-level load (PR 10): misload against a live misd with an
+#      autoscaling job pool — a closed-loop burst and an open-loop
+#      Poisson run over the load-tiny scenario. These records carry
+#      tool:"misload" with client p50/p95/p99, achieved throughput and
+#      the folded server scrape, in the same array as the engine rows.
 #
 # Output is ONE top-level JSON array of records (the stable schema
 # trajectory tooling parses). Records carry engine, auto_engine,
@@ -42,7 +47,10 @@ runs="${BENCH_RUNS:-3}"
 
 tmp="$(mktemp)"
 bin="$(mktemp)"
-trap 'rm -f "$tmp" "$bin"' EXIT
+misd_bin="$(mktemp)"
+misload_bin="$(mktemp)"
+misd_pid=""
+trap '[ -n "$misd_pid" ] && kill "$misd_pid" 2>/dev/null; rm -f "$tmp" "$bin" "$misd_bin" "$misload_bin"' EXIT
 
 go build -o "$bin" ./cmd/misbench
 
@@ -110,6 +118,26 @@ GOMAXPROCS=1 "$bin" -bench -json -engine sparse -shards 1 -benchruns 1 \
   -graph configmodel:n=1048576,edges=8388608 >>"$tmp"
 GOMAXPROCS=1 "$bin" -bench -json -engine sparse -shards 1 -benchruns 1 \
   -graph gnp:n=1048576,p=0.000016 >>"$tmp"
+
+# --- Stage 6: service-level load -------------------------------------
+# misload against a live misd: 1→4 autoscaling workers, the ~100ms
+# load-tiny scenario. The closed-loop burst saturates the pool (its
+# record's server fold shows the scale-ups); the open-loop run offers a
+# fixed Poisson rate so achieved-vs-offered throughput is on record.
+# The misload schedule is seeded, so the request streams are identical
+# across machines; only the latencies differ.
+go build -o "$misd_bin" ./cmd/misd
+go build -o "$misload_bin" ./cmd/misload
+"$misd_bin" -addr 127.0.0.1:18080 -jobs 1 -autoscale-max 4 -queue 64 >/dev/null 2>&1 &
+misd_pid=$!
+"$misload_bin" -url http://127.0.0.1:18080 -wait-ready 15s -json \
+  -mode closed -c 8 -n 120 -hit 0.4 -subs 100 -seed 1 \
+  -spec scenarios/load-tiny.json >>"$tmp"
+"$misload_bin" -url http://127.0.0.1:18080 -json \
+  -mode open -rate 12 -arrival poisson -n 120 -hit 0.4 -seed 2 \
+  -spec scenarios/load-tiny.json >>"$tmp"
+kill "$misd_pid" 2>/dev/null && wait "$misd_pid" 2>/dev/null || true
+misd_pid=""
 
 # Wrap the one-record-per-line stream into a single top-level JSON
 # array (records are single lines by construction).
